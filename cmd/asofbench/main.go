@@ -1,0 +1,127 @@
+// Command asofbench regenerates the paper's evaluation (§6): every figure
+// and experiment, printed as the series the figures plot.
+//
+// Usage:
+//
+//	asofbench -fig all                # everything (a few minutes)
+//	asofbench -fig 5 -txns 2000      # Figures 5+6 (one run produces both)
+//	asofbench -fig 7                  # Figure 7 (+9/11 data) on scaled SSD
+//	asofbench -fig 8                  # Figure 8 (+10) on scaled SAS
+//	asofbench -fig 63                 # §6.3 concurrent as-of impact
+//	asofbench -fig 64                 # §6.4 crossover analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/storage/media"
+	"repro/internal/tpcc"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, 11, 63, 64 or all")
+		txns    = flag.Int("txns", 3000, "transactions of benchmark history")
+		clients = flag.Int("clients", 4, "concurrent benchmark clients")
+		items   = flag.Int("items", 6000, "TPC-C items (database size driver)")
+		scale   = flag.Int64("mediascale", 1000, "sequential-bandwidth scale-down for Figs 7-11 (see DESIGN.md)")
+		workdir = flag.String("dir", "", "working directory (default: temp)")
+	)
+	flag.Parse()
+
+	dir := *workdir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "asofbench")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	cfg := tpcc.DefaultConfig()
+	cfg.Items = *items
+
+	wants := func(ids ...string) bool {
+		if *fig == "all" {
+			return true
+		}
+		for _, id := range ids {
+			if *fig == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	if wants("5", "6") {
+		fmt.Printf("== Figures 5 & 6: logging overhead sweep (%d txns x %d image frequencies, real time) ==\n",
+			*txns/2, len(exp.DefaultImageSweep))
+		if _, err := exp.LoggingOverhead(dir+"/fig56", *txns/2, *clients, exp.DefaultImageSweep, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	backInTime := func(profile media.Profile, label string) {
+		fmt.Printf("\n== %s: building %d-txn history on %s media ==\n", label, *txns, profile.Name)
+		h, err := exp.BuildHistory(dir+"/"+profile.Name, exp.HistoryConfig{
+			Profile:    profile,
+			ImageEvery: 100,
+			Txns:       *txns,
+			Clients:    *clients,
+			Span:       50 * time.Minute,
+			Scale:      cfg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer h.Close()
+		fmt.Printf("history: %v; db %.1f MiB, log %.1f MiB\n", h.Result,
+			float64(h.Manifest.Pages)*8192/(1<<20), float64(h.DB.Log().Size())/(1<<20))
+		if _, err := exp.BackInTime(h, exp.DefaultMinutesBack, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if wants("7", "9", "11") {
+		backInTime(media.Scaled(media.SSD(), *scale), "Figures 7/9/11")
+	}
+	if wants("8", "10") {
+		backInTime(media.Scaled(media.SAS(), *scale), "Figures 8/10")
+	}
+
+	if wants("63") {
+		fmt.Printf("\n== §6.3: concurrent as-of query impact (%d txns, %d clients) ==\n", *txns, *clients)
+		if _, err := exp.Concurrent(dir+"/sec63", *txns, *clients, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if wants("64") {
+		fmt.Printf("\n== §6.4: crossover analysis (native SAS media) ==\n")
+		h, err := exp.BuildHistory(dir+"/sec64", exp.HistoryConfig{
+			Profile:    media.SAS(),
+			ImageEvery: 100,
+			Txns:       *txns,
+			Clients:    *clients,
+			Span:       50 * time.Minute,
+			Scale:      cfg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer h.Close()
+		if _, err := exp.Crossover(h, nil, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asofbench:", err)
+	os.Exit(1)
+}

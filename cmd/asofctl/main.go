@@ -1,0 +1,248 @@
+// Command asofctl is a small admin tool over an asofdb database directory:
+// it inspects state, mounts as-of snapshots and runs simple queries — the
+// operational surface of the paper's recovery workflow.
+//
+// Usage:
+//
+//	asofctl -db DIR init                      create an empty database
+//	asofctl -db DIR demo                      load a demo table with rows
+//	asofctl -db DIR tables                    list tables (current state)
+//	asofctl -db DIR count TABLE               count rows in TABLE
+//	asofctl -db DIR drop TABLE                drop TABLE
+//	asofctl -db DIR tables-asof RFC3339       list tables as of a past time
+//	asofctl -db DIR count-asof RFC3339 TABLE  count rows as of a past time
+//	asofctl -db DIR recover RFC3339 TABLE     restore TABLE from the past
+//	                                          into the current database
+//	asofctl -db DIR history RFC3339 RFC3339   list transactions committed
+//	                                          in the window
+//	asofctl -db DIR undo-txn LSN [force]      undo one committed transaction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	asofdb "repro"
+)
+
+func main() {
+	dbdir := flag.String("db", "", "database directory (required)")
+	flag.Parse()
+	args := flag.Args()
+	if *dbdir == "" || len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	db, err := asofdb.Open(*dbdir, asofdb.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	cmd := args[0]
+	switch cmd {
+	case "init":
+		fmt.Println("database ready at", *dbdir)
+	case "demo":
+		if err := demo(db); err != nil {
+			fatal(err)
+		}
+	case "tables":
+		tx, err := db.Begin()
+		if err != nil {
+			fatal(err)
+		}
+		defer tx.Rollback()
+		tables, err := tx.Tables()
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			fmt.Printf("%-20s id=%-4d root=%-6d %s\n", t.Name, t.ID, t.Root, t.Schema)
+		}
+	case "count":
+		need(args, 2)
+		tx, err := db.Begin()
+		if err != nil {
+			fatal(err)
+		}
+		defer tx.Rollback()
+		n, err := tx.CountRows(args[1], nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(n)
+	case "drop":
+		need(args, 2)
+		tx, err := db.Begin()
+		if err != nil {
+			fatal(err)
+		}
+		if err := tx.DropTable(args[1]); err != nil {
+			tx.Rollback()
+			fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("dropped", args[1])
+	case "tables-asof":
+		need(args, 2)
+		snap := mountSnapshot(db, args[1])
+		defer snap.Close()
+		tables, err := snap.Tables()
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			fmt.Printf("%-20s id=%-4d %s\n", t.Name, t.ID, t.Schema)
+		}
+	case "count-asof":
+		need(args, 3)
+		snap := mountSnapshot(db, args[1])
+		defer snap.Close()
+		n, err := snap.CountRows(args[2], nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(n)
+	case "recover":
+		need(args, 3)
+		snap := mountSnapshot(db, args[1])
+		defer snap.Close()
+		if err := recoverTable(db, snap, args[2]); err != nil {
+			fatal(err)
+		}
+	case "history":
+		need(args, 3)
+		from := parseTime(args[1])
+		to := parseTime(args[2])
+		commits, err := asofdb.FindCommits(db, from, to)
+		if err != nil {
+			fatal(err)
+		}
+		for _, c := range commits {
+			fmt.Printf("commit lsn=%-10d txn=%-6d ops=%-5d at=%s\n",
+				c.CommitLSN, c.TxnID, c.Ops, c.At.UTC().Format(time.RFC3339Nano))
+		}
+	case "undo-txn":
+		need(args, 2)
+		var lsn uint64
+		if _, err := fmt.Sscanf(args[1], "%d", &lsn); err != nil {
+			fatal(fmt.Errorf("bad LSN %q: %w", args[1], err))
+		}
+		force := len(args) > 2 && args[2] == "force"
+		report, err := asofdb.UndoTransaction(db, asofdb.LSN(lsn), force)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("undone txn %d: %d inserts removed, %d deletes restored, %d updates reverted (compensating txn %d)\n",
+			report.TxnID, report.InsertsRemoved, report.DeletesRestored,
+			report.UpdatesReverted, report.CompensatingTxn)
+	default:
+		fatal(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+func parseTime(s string) time.Time {
+	at, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		fatal(fmt.Errorf("parse time %q: %w (want RFC3339)", s, err))
+	}
+	return at
+}
+
+func mountSnapshot(db *asofdb.DB, when string) *asofdb.Snapshot {
+	at, err := time.Parse(time.RFC3339, when)
+	if err != nil {
+		fatal(fmt.Errorf("parse time %q: %w (want RFC3339)", when, err))
+	}
+	snap, err := asofdb.SnapshotAsOf(db, at)
+	if err != nil {
+		fatal(err)
+	}
+	return snap
+}
+
+// recoverTable is the paper's §1 walkthrough: recreate the dropped table
+// from the as-of catalog, then INSERT...SELECT from the snapshot.
+func recoverTable(db *asofdb.DB, snap *asofdb.Snapshot, table string) error {
+	tbl, err := snap.Table(table)
+	if err != nil {
+		return fmt.Errorf("table %q not found as of the snapshot: %w", table, err)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	if err := tx.CreateTable(tbl.Schema); err != nil {
+		tx.Rollback()
+		return fmt.Errorf("recreate: %w", err)
+	}
+	n := 0
+	var insertErr error
+	err = snap.Scan(table, nil, nil, func(r asofdb.Row) bool {
+		if insertErr = tx.Insert(table, r); insertErr != nil {
+			return false
+		}
+		n++
+		return true
+	})
+	if err == nil {
+		err = insertErr
+	}
+	if err != nil {
+		tx.Rollback()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	fmt.Printf("recovered %d rows into %s\n", n, table)
+	return nil
+}
+
+func demo(db *asofdb.DB) error {
+	tx, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	schema := &asofdb.Schema{
+		Name: "demo",
+		Columns: []asofdb.Column{
+			{Name: "id", Kind: asofdb.KindInt64},
+			{Name: "note", Kind: asofdb.KindString},
+		},
+		KeyCols: 1,
+	}
+	if err := tx.CreateTable(schema); err != nil {
+		tx.Rollback()
+		return err
+	}
+	for i := 1; i <= 100; i++ {
+		if err := tx.Insert("demo", asofdb.Row{
+			asofdb.Int64(int64(i)), asofdb.String(fmt.Sprintf("row %d", i)),
+		}); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	fmt.Println("demo table created with 100 rows at", db.Now().Format(time.RFC3339))
+	return nil
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		fatal(fmt.Errorf("missing arguments"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asofctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Pointintime shows arbitrary point-in-time queries for auditing: a row's
+// full value history reconstructed by mounting snapshots at successive
+// times in the past. Each snapshot only unwinds the handful of pages the
+// query touches.
+//
+//	go run ./examples/pointintime
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	asofdb "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "asofdb-pit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := asofdb.Open(dir, asofdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// An "employees" table; employee 7's salary changes over time.
+	mustExec(db, func(tx *asofdb.Txn) error {
+		return tx.CreateTable(&asofdb.Schema{
+			Name: "employees",
+			Columns: []asofdb.Column{
+				{Name: "id", Kind: asofdb.KindInt64},
+				{Name: "name", Kind: asofdb.KindString},
+				{Name: "salary", Kind: asofdb.KindInt64},
+			},
+			KeyCols: 1,
+		})
+	})
+	mustExec(db, func(tx *asofdb.Txn) error {
+		for i := 1; i <= 20; i++ {
+			if err := tx.Insert("employees", asofdb.Row{
+				asofdb.Int64(int64(i)),
+				asofdb.String(fmt.Sprintf("employee-%02d", i)),
+				asofdb.Int64(50000),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	type revision struct {
+		at     time.Time
+		salary int64
+	}
+	var audit []revision
+	audit = append(audit, revision{time.Now(), 50000})
+
+	// Three raises (or was one of them a mistake?).
+	for _, salary := range []int64{58000, 66000, 120000} {
+		time.Sleep(5 * time.Millisecond) // separate the commit timestamps
+		mustExec(db, func(tx *asofdb.Txn) error {
+			return tx.Update("employees", asofdb.Row{
+				asofdb.Int64(7), asofdb.String("employee-07"), asofdb.Int64(salary),
+			})
+		})
+		audit = append(audit, revision{time.Now(), salary})
+	}
+
+	// Audit: replay employee 7's salary as of each recorded moment using
+	// as-of snapshots — no history table was ever maintained.
+	fmt.Println("salary history of employee-07, reconstructed from the log:")
+	for _, rev := range audit {
+		snap, err := asofdb.SnapshotAsOf(db, rev.at)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, ok, err := snap.Get("employees", asofdb.Row{asofdb.Int64(7)})
+		if err != nil || !ok {
+			log.Fatalf("as of %v: ok=%v err=%v", rev.at, ok, err)
+		}
+		fmt.Printf("  as of %s: %6d  (undo work: %d records across %d pages)\n",
+			rev.at.Format("15:04:05.000000"), r[2].Int,
+			snap.Stats().RecordsUndone.Load(), snap.Stats().PagesPrepared.Load())
+		if r[2].Int != rev.salary {
+			log.Fatalf("expected %d", rev.salary)
+		}
+		snap.Close()
+	}
+	fmt.Println("ok: every historical value recovered exactly")
+}
+
+func mustExec(db *asofdb.DB, fn func(tx *asofdb.Txn) error) {
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+}

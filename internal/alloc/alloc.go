@@ -1,0 +1,168 @@
+// Package alloc implements the allocation maps of §3/§4.2: bitmap pages that
+// track, for every data page, whether it is currently allocated and whether
+// it has ever been allocated. The ever-allocated bit is what lets the engine
+// distinguish a first allocation (no preformat record needed — the page has
+// no prior content worth preserving) from a re-allocation (a preformat
+// record carrying the prior page image must be logged, paper Figure 2).
+//
+// Allocation maps are stored in ordinary data pages and their updates are
+// logged as regular page modifications (TypeAllocBits records), so
+// allocation state travels back in time with exactly the same
+// PreparePageAsOf mechanism as data and metadata.
+//
+// This package is pure layout and bit manipulation; the engine performs the
+// fetching, logging and application of changes.
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/storage/page"
+)
+
+// PayloadOffset is where the bitmap begins within an allocation map page.
+// It must match the offset used by wal's TypeAllocBits apply path.
+const PayloadOffset = 64
+
+// PagesPerMap is the number of pages covered by one allocation map page:
+// two bits per page, four pages per payload byte.
+const PagesPerMap = (page.Size - PayloadOffset) * 4
+
+// BootPage is the database boot block.
+const BootPage page.ID = 0
+
+// FirstMapPage is the allocation map page for the first interval.
+const FirstMapPage page.ID = 1
+
+// MapPageFor returns the allocation map page that covers id.
+func MapPageFor(id page.ID) page.ID {
+	k := uint32(id) / PagesPerMap
+	if k == 0 {
+		return FirstMapPage
+	}
+	return page.ID(k * PagesPerMap)
+}
+
+// IsMapPage reports whether id is an allocation map page.
+func IsMapPage(id page.ID) bool {
+	if id == FirstMapPage {
+		return true
+	}
+	return id != 0 && uint32(id)%PagesPerMap == 0
+}
+
+// IsReserved reports whether id is a page users may never allocate
+// (the boot page and allocation map pages).
+func IsReserved(id page.ID) bool { return id == BootPage || IsMapPage(id) }
+
+// BytePos returns the payload byte index and bit shift for id within its
+// allocation map page.
+func BytePos(id page.ID) (byteIdx uint16, shift uint) {
+	rel := uint32(id) % PagesPerMap
+	return uint16(rel / 4), uint(rel%4) * 2
+}
+
+// PageForBytePos is the inverse of BytePos for a given map page.
+func PageForBytePos(mapPage page.ID, byteIdx uint16, shift uint) page.ID {
+	base := uint32(0)
+	if mapPage != FirstMapPage {
+		base = uint32(mapPage)
+	}
+	return page.ID(base + uint32(byteIdx)*4 + uint32(shift/2))
+}
+
+const (
+	bitAllocated = 0x1
+	bitEver      = 0x2
+)
+
+// Decode extracts (allocated, everAllocated) for the page at shift within b.
+func Decode(b byte, shift uint) (allocated, ever bool) {
+	v := (b >> shift) & 0x3
+	return v&bitAllocated != 0, v&bitEver != 0
+}
+
+// Encode returns b with the page at shift set to (allocated, ever).
+func Encode(b byte, shift uint, allocated, ever bool) byte {
+	v := byte(0)
+	if allocated {
+		v |= bitAllocated
+	}
+	if ever {
+		v |= bitEver
+	}
+	return (b &^ (0x3 << shift)) | (v << shift)
+}
+
+// ReadState reads the allocation state of id from its (already fetched)
+// allocation map page.
+func ReadState(mapPg *page.Page, id page.ID) (allocated, ever bool, err error) {
+	if err := checkMapPage(mapPg, id); err != nil {
+		return false, false, err
+	}
+	byteIdx, shift := BytePos(id)
+	b := mapPg.Bytes()[PayloadOffset+int(byteIdx)]
+	allocated, ever = Decode(b, shift)
+	return allocated, ever, nil
+}
+
+// Mutation describes a one-byte change to an allocation map page, in the
+// form the engine logs as a TypeAllocBits record.
+type Mutation struct {
+	MapPage page.ID
+	ByteIdx uint16
+	OldVal  byte
+	NewVal  byte
+}
+
+// SetState computes the Mutation that records id as (allocated, ever) —
+// without applying it. The engine logs the record and applies it via the
+// wal package so that do, redo and undo share one code path.
+func SetState(mapPg *page.Page, id page.ID, allocated, ever bool) (Mutation, error) {
+	if err := checkMapPage(mapPg, id); err != nil {
+		return Mutation{}, err
+	}
+	byteIdx, shift := BytePos(id)
+	old := mapPg.Bytes()[PayloadOffset+int(byteIdx)]
+	return Mutation{
+		MapPage: mapPg.ID(),
+		ByteIdx: byteIdx,
+		OldVal:  old,
+		NewVal:  Encode(old, shift, allocated, ever),
+	}, nil
+}
+
+// FindFree scans the map page for the first page at or after startRel
+// (relative to the map's interval) that is not allocated and not reserved.
+// It returns the absolute page id, or ok=false if the interval is full.
+// maxRel bounds the scan to pages that exist or may be created.
+func FindFree(mapPg *page.Page, startRel, maxRel uint32) (page.ID, bool) {
+	if maxRel > PagesPerMap {
+		maxRel = PagesPerMap
+	}
+	base := uint32(0)
+	if mapPg.ID() != FirstMapPage {
+		base = uint32(mapPg.ID())
+	}
+	buf := mapPg.Bytes()
+	for rel := startRel; rel < maxRel; rel++ {
+		id := page.ID(base + rel)
+		if IsReserved(id) {
+			continue
+		}
+		byteIdx, shift := uint16(rel/4), uint(rel%4)*2
+		allocated, _ := Decode(buf[PayloadOffset+int(byteIdx)], shift)
+		if !allocated {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+func checkMapPage(mapPg *page.Page, id page.ID) error {
+	want := MapPageFor(id)
+	if mapPg.ID() != want {
+		return fmt.Errorf("alloc: page %d is covered by map %d, got map %d", id, want, mapPg.ID())
+	}
+	return nil
+}

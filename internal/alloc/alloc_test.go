@@ -1,0 +1,190 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage/page"
+)
+
+func mapPage(id page.ID) *page.Page {
+	p := page.New()
+	p.Format(id, page.TypeAllocMap, 0)
+	return p
+}
+
+func TestMapPageFor(t *testing.T) {
+	if MapPageFor(0) != FirstMapPage || MapPageFor(5) != FirstMapPage {
+		t.Error("low pages should map to FirstMapPage")
+	}
+	if MapPageFor(PagesPerMap-1) != FirstMapPage {
+		t.Error("last page of interval 0")
+	}
+	if MapPageFor(PagesPerMap) != page.ID(PagesPerMap) {
+		t.Errorf("MapPageFor(%d) = %d", PagesPerMap, MapPageFor(PagesPerMap))
+	}
+	if MapPageFor(PagesPerMap+7) != page.ID(PagesPerMap) {
+		t.Error("interval 1 mapping")
+	}
+}
+
+func TestIsMapPageAndReserved(t *testing.T) {
+	if !IsMapPage(FirstMapPage) || !IsMapPage(page.ID(PagesPerMap)) {
+		t.Error("map pages not recognized")
+	}
+	if IsMapPage(2) || IsMapPage(0) {
+		t.Error("non-map pages misrecognized")
+	}
+	if !IsReserved(BootPage) || !IsReserved(FirstMapPage) {
+		t.Error("reserved pages")
+	}
+	if IsReserved(2) {
+		t.Error("page 2 should be allocatable")
+	}
+}
+
+func TestBytePosRoundTrip(t *testing.T) {
+	for _, id := range []page.ID{2, 3, 100, PagesPerMap - 1, PagesPerMap + 2, 2*PagesPerMap + 9} {
+		byteIdx, shift := BytePos(id)
+		got := PageForBytePos(MapPageFor(id), byteIdx, shift)
+		if got != id {
+			t.Errorf("BytePos round trip for %d: got %d", id, got)
+		}
+	}
+}
+
+func TestEncodeDecodeBits(t *testing.T) {
+	var b byte
+	b = Encode(b, 0, true, true)
+	b = Encode(b, 2, true, false)
+	b = Encode(b, 4, false, true)
+	if a, e := Decode(b, 0); !a || !e {
+		t.Error("slot 0")
+	}
+	if a, e := Decode(b, 2); !a || e {
+		t.Error("slot 1")
+	}
+	if a, e := Decode(b, 4); a || !e {
+		t.Error("slot 2")
+	}
+	if a, e := Decode(b, 6); a || e {
+		t.Error("slot 3 should be clear")
+	}
+	// Clearing allocated keeps ever.
+	b = Encode(b, 0, false, true)
+	if a, e := Decode(b, 0); a || !e {
+		t.Error("dealloc must keep ever-allocated")
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(b byte, slot uint8, a, e bool) bool {
+		shift := uint(slot%4) * 2
+		nb := Encode(b, shift, a, e)
+		ga, ge := Decode(nb, shift)
+		if ga != a || ge != e {
+			return false
+		}
+		// Other slots unchanged.
+		for s := uint(0); s < 8; s += 2 {
+			if s == shift {
+				continue
+			}
+			oa, oe := Decode(b, s)
+			na, ne := Decode(nb, s)
+			if oa != na || oe != ne {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSetState(t *testing.T) {
+	mp := mapPage(FirstMapPage)
+	a, e, err := ReadState(mp, 2)
+	if err != nil || a || e {
+		t.Fatalf("fresh state: a=%v e=%v err=%v", a, e, err)
+	}
+	mut, err := SetState(mp, 2, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mut.MapPage != FirstMapPage || mut.OldVal == mut.NewVal {
+		t.Fatalf("mutation: %+v", mut)
+	}
+	// The engine applies mutations via the wal package; emulate that here.
+	mp.Bytes()[PayloadOffset+int(mut.ByteIdx)] = mut.NewVal
+	a, e, _ = ReadState(mp, 2)
+	if !a || !e {
+		t.Fatal("state not set")
+	}
+	// Deallocate: allocated off, ever stays.
+	mut, _ = SetState(mp, 2, false, true)
+	mp.Bytes()[PayloadOffset+int(mut.ByteIdx)] = mut.NewVal
+	a, e, _ = ReadState(mp, 2)
+	if a || !e {
+		t.Fatal("dealloc state wrong")
+	}
+}
+
+func TestStateWrongMapPage(t *testing.T) {
+	mp := mapPage(FirstMapPage)
+	if _, _, err := ReadState(mp, page.ID(PagesPerMap+5)); err == nil {
+		t.Error("ReadState with wrong map page should fail")
+	}
+	if _, err := SetState(mp, page.ID(PagesPerMap+5), true, true); err == nil {
+		t.Error("SetState with wrong map page should fail")
+	}
+}
+
+func TestFindFreeSkipsReservedAndAllocated(t *testing.T) {
+	mp := mapPage(FirstMapPage)
+	id, ok := FindFree(mp, 0, 100)
+	if !ok || id != 2 {
+		t.Fatalf("first free = %d ok=%v, want 2", id, ok)
+	}
+	// Allocate 2 and 3.
+	for _, pid := range []page.ID{2, 3} {
+		mut, _ := SetState(mp, pid, true, true)
+		mp.Bytes()[PayloadOffset+int(mut.ByteIdx)] = mut.NewVal
+	}
+	id, ok = FindFree(mp, 0, 100)
+	if !ok || id != 4 {
+		t.Fatalf("next free = %d ok=%v, want 4", id, ok)
+	}
+	// Start hint skips ahead.
+	id, ok = FindFree(mp, 10, 100)
+	if !ok || id != 10 {
+		t.Fatalf("hinted free = %d ok=%v, want 10", id, ok)
+	}
+}
+
+func TestFindFreeExhausted(t *testing.T) {
+	mp := mapPage(FirstMapPage)
+	for rel := uint32(0); rel < 8; rel++ {
+		id := page.ID(rel)
+		if IsReserved(id) {
+			continue
+		}
+		mut, _ := SetState(mp, id, true, true)
+		mp.Bytes()[PayloadOffset+int(mut.ByteIdx)] = mut.NewVal
+	}
+	if _, ok := FindFree(mp, 0, 8); ok {
+		t.Fatal("exhausted interval reported free page")
+	}
+}
+
+func TestSecondIntervalLayout(t *testing.T) {
+	mp := mapPage(page.ID(PagesPerMap))
+	id, ok := FindFree(mp, 0, 50)
+	if !ok {
+		t.Fatal("no free page in interval 1")
+	}
+	if id != page.ID(PagesPerMap+1) { // PagesPerMap itself is the map page
+		t.Fatalf("first free in interval 1 = %d, want %d", id, PagesPerMap+1)
+	}
+}

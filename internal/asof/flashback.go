@@ -1,0 +1,268 @@
+package asof
+
+// Transaction-level undo — the extension the paper names as future work in
+// §8: "We are working on extending our scheme to undo a specific
+// transaction."
+//
+// The same per-transaction log chains that drive rollback make this
+// possible for committed transactions: walk the chain, and apply the
+// inverse of each row operation as a new, ordinary transaction (a
+// compensating transaction), under normal locking. Unlike page rewinding,
+// later committed work is preserved — which also means the undo can
+// conflict with it; conflicts are detected by comparing the row's current
+// value with the transaction's after-image and reported unless the caller
+// forces the undo.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/row"
+	"repro/internal/wal"
+)
+
+// CommitInfo describes one committed transaction found in the log.
+type CommitInfo struct {
+	TxnID     uint64
+	CommitLSN wal.LSN
+	BeginLSN  wal.LSN
+	At        time.Time
+	// Ops counts the row operations (inserts/deletes/updates) logged by
+	// the transaction, excluding structure modifications.
+	Ops int
+}
+
+// FindCommits scans the log for transactions committed in [from, to],
+// oldest first. It is the discovery step before UndoTransaction: "what
+// changed around the time of the mistake?"
+func FindCommits(db *engine.DB, from, to time.Time) ([]CommitInfo, error) {
+	fromNS, toNS := from.UnixNano(), to.UnixNano()
+	type txState struct {
+		begin wal.LSN
+		ops   int
+	}
+	open := make(map[uint64]*txState)
+	var out []CommitInfo
+	err := db.Log().Scan(db.Log().TruncationPoint(), func(rec *wal.Record) (bool, error) {
+		switch rec.Type {
+		case wal.TypeBegin:
+			open[rec.TxnID] = &txState{begin: rec.LSN}
+		case wal.TypeInsert, wal.TypeDelete, wal.TypeUpdate:
+			if st := open[rec.TxnID]; st != nil {
+				st.ops++
+			}
+		case wal.TypeAbort:
+			delete(open, rec.TxnID)
+		case wal.TypeCommit:
+			st := open[rec.TxnID]
+			delete(open, rec.TxnID)
+			if rec.WallClock < fromNS || rec.WallClock > toNS {
+				return rec.WallClock <= toNS, nil
+			}
+			info := CommitInfo{
+				TxnID:     rec.TxnID,
+				CommitLSN: rec.LSN,
+				At:        rec.Time(),
+			}
+			if st != nil {
+				info.BeginLSN = st.begin
+				info.Ops = st.ops
+			}
+			out = append(out, info)
+		}
+		return true, nil
+	})
+	return out, err
+}
+
+// ErrUndoConflict is returned when a row touched by the transaction being
+// undone has since been changed by someone else. Pass force to override.
+var ErrUndoConflict = errors.New("asof: row changed since the transaction; refusing to undo")
+
+// ErrNotCommitted is returned when the LSN does not name a commit record.
+var ErrNotCommitted = errors.New("asof: LSN is not a commit record")
+
+// UndoReport summarizes a transaction undo.
+type UndoReport struct {
+	TxnID uint64
+	// InsertsRemoved, DeletesRestored and UpdatesReverted count the
+	// compensating operations applied.
+	InsertsRemoved  int
+	DeletesRestored int
+	UpdatesReverted int
+	// CompensatingTxn is the id of the new transaction that performed the
+	// undo (it is a normal transaction: logged, durable, undoable).
+	CompensatingTxn uint64
+}
+
+// UndoTransaction reverses a committed transaction identified by its
+// commit LSN (from FindCommits): its row operations are inverted, newest
+// first, inside a new compensating transaction that takes ordinary locks
+// and commits durably. Work committed by other transactions afterwards is
+// preserved; if any of it touched the same rows, the undo fails with
+// ErrUndoConflict unless force is set.
+func UndoTransaction(db *engine.DB, commitLSN wal.LSN, force bool) (UndoReport, error) {
+	commit, err := db.Log().Read(commitLSN)
+	if err != nil {
+		return UndoReport{}, err
+	}
+	if commit.Type != wal.TypeCommit {
+		return UndoReport{}, fmt.Errorf("%w: %v is %v", ErrNotCommitted, commitLSN, commit.Type)
+	}
+	report := UndoReport{TxnID: commit.TxnID}
+
+	tx, err := db.Begin()
+	if err != nil {
+		return report, err
+	}
+	report.CompensatingTxn = tx.ID()
+	tables, err := rootTableIndex(tx)
+	if err != nil {
+		tx.Rollback()
+		return report, err
+	}
+
+	cur := commit.PrevLSN
+	for cur != wal.NilLSN {
+		rec, err := db.Log().Read(cur)
+		if err != nil {
+			tx.Rollback()
+			return report, err
+		}
+		next := rec.PrevLSN
+		switch rec.Type {
+		case wal.TypeBegin:
+			cur = wal.NilLSN
+			continue
+		case wal.TypeCLR:
+			next = rec.UndoNextLSN
+		case wal.TypeInsert:
+			if err := undoOneInsert(tx, tables, rec, force); err != nil {
+				tx.Rollback()
+				return report, err
+			}
+			report.InsertsRemoved++
+		case wal.TypeDelete:
+			if err := undoOneDelete(tx, tables, rec); err != nil {
+				tx.Rollback()
+				return report, err
+			}
+			report.DeletesRestored++
+		case wal.TypeUpdate:
+			if err := undoOneUpdate(tx, tables, rec, force); err != nil {
+				tx.Rollback()
+				return report, err
+			}
+			report.UpdatesReverted++
+		}
+		cur = next
+	}
+	if err := tx.Commit(); err != nil {
+		return report, err
+	}
+	return report, nil
+}
+
+// rootTableIndex maps B-Tree root page ids (the ObjectID in log records) to
+// catalog entries.
+func rootTableIndex(tx *engine.Txn) (map[uint32]catalog.Table, error) {
+	tables, err := tx.Tables()
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[uint32]catalog.Table, len(tables))
+	for _, t := range tables {
+		idx[uint32(t.Root)] = t
+	}
+	return idx, nil
+}
+
+func tableFor(tables map[uint32]catalog.Table, rec *wal.Record) (catalog.Table, error) {
+	t, ok := tables[rec.ObjectID]
+	if !ok {
+		return catalog.Table{}, fmt.Errorf("asof: record at %v belongs to object %d which no longer exists (dropped table?)",
+			rec.LSN, rec.ObjectID)
+	}
+	return t, nil
+}
+
+func undoOneInsert(tx *engine.Txn, tables map[uint32]catalog.Table, rec *wal.Record, force bool) error {
+	t, err := tableFor(tables, rec)
+	if err != nil {
+		return err
+	}
+	_, val := btree.DecodeLeafRec(rec.NewData)
+	inserted, err := row.Decode(val)
+	if err != nil {
+		return err
+	}
+	keyVals := inserted.Key(t.Schema)
+	current, ok, err := tx.Get(t.Name, keyVals)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// Someone already deleted it; nothing to remove.
+		return nil
+	}
+	if !force && !bytes.Equal(row.Encode(current), row.Encode(inserted)) {
+		return fmt.Errorf("%w: %s key %v", ErrUndoConflict, t.Name, keyVals)
+	}
+	return tx.Delete(t.Name, keyVals)
+}
+
+func undoOneDelete(tx *engine.Txn, tables map[uint32]catalog.Table, rec *wal.Record) error {
+	t, err := tableFor(tables, rec)
+	if err != nil {
+		return err
+	}
+	_, val := btree.DecodeLeafRec(rec.OldData)
+	deleted, err := row.Decode(val)
+	if err != nil {
+		return err
+	}
+	err = tx.Insert(t.Name, deleted)
+	if errors.Is(err, engine.ErrRowExists) {
+		// Someone re-inserted the key since: that is a conflict by
+		// definition, but restoring over it would lose their row — report.
+		return fmt.Errorf("%w: %s key %v re-inserted since", ErrUndoConflict, t.Name, deleted.Key(t.Schema))
+	}
+	return err
+}
+
+func undoOneUpdate(tx *engine.Txn, tables map[uint32]catalog.Table, rec *wal.Record, force bool) error {
+	t, err := tableFor(tables, rec)
+	if err != nil {
+		return err
+	}
+	_, oldVal := btree.DecodeLeafRec(rec.OldData)
+	oldRow, err := row.Decode(oldVal)
+	if err != nil {
+		return err
+	}
+	_, newVal := btree.DecodeLeafRec(rec.NewData)
+	newRow, err := row.Decode(newVal)
+	if err != nil {
+		return err
+	}
+	keyVals := oldRow.Key(t.Schema)
+	current, ok, err := tx.Get(t.Name, keyVals)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		if force {
+			return tx.Insert(t.Name, oldRow)
+		}
+		return fmt.Errorf("%w: %s key %v deleted since", ErrUndoConflict, t.Name, keyVals)
+	}
+	if !force && !bytes.Equal(row.Encode(current), row.Encode(newRow)) {
+		return fmt.Errorf("%w: %s key %v", ErrUndoConflict, t.Name, keyVals)
+	}
+	return tx.Update(t.Name, oldRow)
+}

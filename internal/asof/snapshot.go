@@ -1,0 +1,589 @@
+package asof
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/row"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/media"
+	"repro/internal/storage/page"
+	"repro/internal/storage/sidefile"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// snapAllocBase is where snapshot-local page ids begin. Pages allocated by
+// the snapshot's own logical undo (e.g. a split while re-inserting a row)
+// live only in the side file and must never collide with primary pages.
+const snapAllocBase = uint32(1) << 28
+
+// Snapshot is an as-of database snapshot (§5): a read-only, transactionally
+// consistent view of the database as of the SplitLSN, queryable through the
+// same catalog and B-Tree machinery as the primary. Prior page versions are
+// produced lazily — only for pages queries actually touch (§5.3) — and
+// cached in a sparse side file.
+type Snapshot struct {
+	db    *engine.DB
+	point SplitPoint
+	asOf  time.Time
+
+	side  *sidefile.File
+	pool  *buffer.Pool
+	stats Stats
+
+	locks     *txn.LockManager // §5.2: locks of in-flight txns, reacquired
+	lockOwner uint64           // lock-manager id owning the reacquired locks
+	pending   atomic.Int32     // in-flight transactions not yet undone
+	queryIDs  atomic.Uint64    // ephemeral reader ids for the lock barrier
+
+	mu        sync.Mutex
+	treeLocks map[page.ID]*sync.RWMutex
+	undoErr   error
+	undoDone  chan struct{}
+	nextLocal uint32
+	closed    bool
+}
+
+// CreateSnapshot mounts an as-of snapshot of db at the given wall-clock
+// time (CREATE DATABASE ... AS SNAPSHOT OF ... AS OF '<time>'). sideDev is
+// the media device charged for side-file I/O (nil = uncharged).
+//
+// Creation follows §5.1/§5.2: resolve the SplitLSN (checkpoint narrowing +
+// commit scan), checkpoint the primary so every page at or below the
+// SplitLSN is durable, create the sparse side file, run the analysis pass
+// and reacquire the locks of in-flight transactions, then open for queries
+// while the logical undo of those transactions proceeds in the background.
+func CreateSnapshot(db *engine.DB, asOf time.Time, sideDev *media.Device) (*Snapshot, error) {
+	point, err := ResolveTime(db, asOf)
+	if err != nil {
+		return nil, err
+	}
+	return newSnapshot(db, point, asOf, sideDev)
+}
+
+// CreateSnapshotAtLSN mounts a snapshot at an explicit SplitLSN.
+func CreateSnapshotAtLSN(db *engine.DB, split wal.LSN, sideDev *media.Device) (*Snapshot, error) {
+	point, err := ResolveLSN(db, split)
+	if err != nil {
+		return nil, err
+	}
+	return newSnapshot(db, point, time.Time{}, sideDev)
+}
+
+func newSnapshot(db *engine.DB, point SplitPoint, asOf time.Time, sideDev *media.Device) (*Snapshot, error) {
+	// "...performs a checkpoint to make sure that all pages of the primary
+	// database with LSNs less than or equal to SplitLSN are made durable"
+	// (§5.1). With that done, the snapshot's redo pass needs no page reads.
+	if err := db.Checkpoint(); err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("snap-%d.side", time.Now().UnixNano())
+	side, err := sidefile.Create(filepath.Join(db.Dir(), name), sideDev)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		db:        db,
+		point:     point,
+		asOf:      asOf,
+		side:      side,
+		locks:     txn.NewLockManager(30 * time.Second),
+		lockOwner: 1,
+		treeLocks: make(map[page.ID]*sync.RWMutex),
+		undoDone:  make(chan struct{}),
+		nextLocal: snapAllocBase,
+	}
+	s.pool = buffer.New(buffer.Config{
+		Frames:    256,
+		Source:    (*snapSource)(s),
+		Checksums: true,
+	})
+	s.pending.Store(int32(len(point.ATT)))
+
+	// Redo pass (§5.2): no page I/O — pages ≤ SplitLSN are durable and
+	// PreparePageAsOf rewinds anything newer on access. What remains of
+	// redo is reacquiring the locks held by in-flight transactions so
+	// queries cannot observe their uncommitted effects before undo fixes
+	// the pages.
+	if err := s.reacquireLocks(); err != nil {
+		side.Close()
+		return nil, err
+	}
+
+	// Logical undo runs in the background (§5.2), opening the snapshot for
+	// queries immediately.
+	go s.backgroundUndo()
+	return s, nil
+}
+
+// SplitLSN returns the snapshot's recovery target.
+func (s *Snapshot) SplitLSN() wal.LSN { return s.point.SplitLSN }
+
+// Point returns the full resolved split point.
+func (s *Snapshot) Point() SplitPoint { return s.point }
+
+// AsOfTime returns the requested wall-clock time (zero if LSN-addressed).
+func (s *Snapshot) AsOfTime() time.Time { return s.asOf }
+
+// Stats exposes undo-work counters for the experiments.
+func (s *Snapshot) Stats() *Stats { return &s.stats }
+
+// SidePages returns the number of pages materialized in the side file.
+func (s *Snapshot) SidePages() int { return s.side.Len() }
+
+// WaitUndo blocks until background undo completes (tests and benchmarks).
+func (s *Snapshot) WaitUndo() error {
+	<-s.undoDone
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.undoErr
+}
+
+// Close drops the snapshot and removes its side file.
+func (s *Snapshot) Close() error {
+	<-s.undoDone // the background undo writes to the side file; let it end
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.side.Close()
+}
+
+// --- §5.3 page access protocol ---
+
+// snapSource implements buffer.Source for the snapshot pool:
+//
+//	a. if the page exists in the sparse side file, return it;
+//	b. else read the page from the primary database (a latched copy through
+//	   the primary buffer pool);
+//	c. call PreparePageAsOf(page, SplitLSN) to undo it to the split;
+//	d. write the prepared page to the side file.
+type snapSource Snapshot
+
+func (src *snapSource) ReadPage(id page.ID, buf []byte) error {
+	s := (*Snapshot)(src)
+	ok, err := s.side.ReadPage(id, buf)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return nil
+	}
+	if uint32(id) >= snapAllocBase {
+		return fmt.Errorf("asof: snapshot-local page %d lost from side file", id)
+	}
+	h, err := s.db.Pool().Fetch(id, false)
+	if err != nil {
+		return err
+	}
+	copy(buf, h.Page().Bytes())
+	h.Release()
+	p := page.FromBytes(buf)
+	if err := PreparePageAsOf(p, s.point.SplitLSN, s.db.Log(), &s.stats); err != nil {
+		return err
+	}
+	p.WriteChecksum()
+	return s.side.WritePage(id, buf)
+}
+
+func (src *snapSource) WritePage(id page.ID, buf []byte) error {
+	return (*Snapshot)(src).side.WritePage(id, buf)
+}
+
+// --- btree.Store implementation (read path for queries, write path for
+// the logical undo of in-flight transactions; never logged) ---
+
+// Fetch returns a latched handle through the snapshot pool.
+func (s *Snapshot) Fetch(id page.ID, excl bool) (btree.Handle, error) {
+	h, err := s.pool.Fetch(id, excl)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Alloc creates a snapshot-local page (undo-time splits only).
+func (s *Snapshot) Alloc(objectID uint32, t page.Type, level uint8) (btree.Handle, error) {
+	s.mu.Lock()
+	id := page.ID(s.nextLocal)
+	s.nextLocal++
+	s.mu.Unlock()
+	h, err := s.pool.NewPage(id)
+	if err != nil {
+		return nil, err
+	}
+	h.Page().Format(id, t, level)
+	h.Page().SetPageLSN(uint64(s.point.SplitLSN))
+	h.MarkDirty()
+	return h, nil
+}
+
+// Free is a no-op: the snapshot is read-only and short-lived; side-file
+// space is reclaimed when the snapshot is dropped.
+func (s *Snapshot) Free(objectID uint32, id page.ID) error { return nil }
+
+func (s *Snapshot) applyDirect(h btree.Handle, fn func(p *page.Page) error) error {
+	bh := h.(*buffer.Handle)
+	if err := fn(bh.Page()); err != nil {
+		return err
+	}
+	bh.MarkDirty()
+	return nil
+}
+
+// InsertRec applies a slot insert to the snapshot copy (not logged —
+// "this modified page is then written back to the side file", §5.2).
+func (s *Snapshot) InsertRec(h btree.Handle, objectID uint32, slot int, rec []byte) error {
+	return s.applyDirect(h, func(p *page.Page) error { return p.InsertAt(slot, rec) })
+}
+
+// DeleteRec applies a slot delete to the snapshot copy.
+func (s *Snapshot) DeleteRec(h btree.Handle, objectID uint32, slot int) error {
+	return s.applyDirect(h, func(p *page.Page) error {
+		_, err := p.DeleteAt(slot)
+		return err
+	})
+}
+
+// UpdateRec applies a slot update to the snapshot copy.
+func (s *Snapshot) UpdateRec(h btree.Handle, objectID uint32, slot int, rec []byte) error {
+	return s.applyDirect(h, func(p *page.Page) error { return p.UpdateAt(slot, rec) })
+}
+
+// Reformat formats a snapshot copy in place.
+func (s *Snapshot) Reformat(h btree.Handle, objectID uint32, t page.Type, level uint8) error {
+	return s.applyDirect(h, func(p *page.Page) error {
+		id := p.ID()
+		p.Format(id, t, level)
+		p.SetPageLSN(uint64(s.point.SplitLSN))
+		return nil
+	})
+}
+
+// BeginNTA/EndNTA are no-ops: nothing is logged on a snapshot.
+func (s *Snapshot) BeginNTA() uint64 { return 0 }
+func (s *Snapshot) EndNTA(uint64)    {}
+
+// TreeLock returns a snapshot-local tree lock.
+func (s *Snapshot) TreeLock(root page.ID) *sync.RWMutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.treeLocks[root]
+	if !ok {
+		l = &sync.RWMutex{}
+		s.treeLocks[root] = l
+	}
+	return l
+}
+
+// --- §5.2: lock reacquisition and background logical undo ---
+
+// reacquireLocks takes, on the snapshot's private lock table, an exclusive
+// lock for every row an in-flight transaction modified at or before the
+// SplitLSN. Queries take the shared side of these locks, so they block on
+// exactly the rows whose undo is still pending.
+func (s *Snapshot) reacquireLocks() error {
+	for _, e := range s.point.ATT {
+		cur := e.LastLSN
+		for cur != wal.NilLSN {
+			rec, err := s.db.Log().Read(cur)
+			if err != nil {
+				return fmt.Errorf("asof: lock reacquisition read %v: %w", cur, err)
+			}
+			next := rec.PrevLSN
+			switch rec.Type {
+			case wal.TypeBegin:
+				cur = wal.NilLSN
+				continue
+			case wal.TypeCLR:
+				next = rec.UndoNextLSN
+			case wal.TypeInsert:
+				key, _ := btree.DecodeLeafRec(rec.NewData)
+				s.lockRowX(rec.ObjectID, key)
+			case wal.TypeDelete, wal.TypeUpdate:
+				key, _ := btree.DecodeLeafRec(rec.OldData)
+				s.lockRowX(rec.ObjectID, key)
+			}
+			cur = next
+		}
+	}
+	return nil
+}
+
+func (s *Snapshot) lockRowX(objectID uint32, key []byte) {
+	// The snapshot lock table has a single writer (the undo owner), so
+	// these acquisitions never block.
+	_ = s.locks.Lock(s.lockOwner, txn.Key{Object: objectID, Row: string(key)}, txn.Exclusive)
+}
+
+// backgroundUndo logically undoes each in-flight transaction against the
+// snapshot (§5.2): rows are re-located by key through the snapshot's as-of
+// B-Trees and inverse operations applied, the fixed pages landing in the
+// side file. Queries proceed concurrently, blocked only by the reacquired
+// locks of rows not yet undone.
+func (s *Snapshot) backgroundUndo() {
+	defer close(s.undoDone)
+	var firstErr error
+	for _, e := range s.point.ATT {
+		if err := s.undoTxn(e); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.pending.Add(-1)
+	}
+	// All transactions undone: release every reacquired lock.
+	s.locks.ReleaseAll(s.lockOwner)
+	if firstErr != nil {
+		s.mu.Lock()
+		s.undoErr = firstErr
+		s.mu.Unlock()
+	}
+}
+
+func (s *Snapshot) undoTxn(e wal.ATTEntry) error {
+	cur := e.LastLSN
+	for cur != wal.NilLSN {
+		rec, err := s.db.Log().Read(cur)
+		if err != nil {
+			return fmt.Errorf("asof: undo read %v: %w", cur, err)
+		}
+		next := rec.PrevLSN
+		if rec.Flags&wal.FlagNTA != 0 && rec.Type != wal.TypeCLR {
+			// The SplitLSN fell inside a structure modification: undo this
+			// record physically on the as-of page. The SMO held its latches
+			// across all its records, so the as-of page tail is exactly
+			// this record and slot-level undo is valid.
+			if err := s.undoPhysicalOnSnapshot(rec); err != nil {
+				return fmt.Errorf("asof: snapshot physical undo at %v: %w", rec.LSN, err)
+			}
+			cur = next
+			continue
+		}
+		switch rec.Type {
+		case wal.TypeBegin:
+			return nil
+		case wal.TypeCLR:
+			next = rec.UndoNextLSN
+		case wal.TypeInsert:
+			key, _ := btree.DecodeLeafRec(rec.NewData)
+			if err := btree.UndoInsert(s, page.ID(rec.ObjectID), key); err != nil {
+				return fmt.Errorf("asof: snapshot undo insert at %v: %w", rec.LSN, err)
+			}
+		case wal.TypeDelete:
+			key, val := btree.DecodeLeafRec(rec.OldData)
+			if err := btree.UndoDelete(s, page.ID(rec.ObjectID), key, val); err != nil {
+				return fmt.Errorf("asof: snapshot undo delete at %v: %w", rec.LSN, err)
+			}
+		case wal.TypeUpdate:
+			key, val := btree.DecodeLeafRec(rec.OldData)
+			if err := btree.UndoUpdate(s, page.ID(rec.ObjectID), key, val); err != nil {
+				return fmt.Errorf("asof: snapshot undo update at %v: %w", rec.LSN, err)
+			}
+		case wal.TypeAllocBits:
+			if err := s.undoAllocBitsOnSnapshot(rec); err != nil {
+				return err
+			}
+		}
+		cur = next
+	}
+	return nil
+}
+
+// undoPhysicalOnSnapshot reverses one mid-NTA record on the snapshot copy
+// of its page (unlogged — snapshot fixes live only in the side file).
+func (s *Snapshot) undoPhysicalOnSnapshot(rec *wal.Record) error {
+	if rec.Type == wal.TypeAllocBits {
+		return s.undoAllocBitsOnSnapshot(rec)
+	}
+	if rec.Type == wal.TypeImage {
+		return nil
+	}
+	h, err := s.pool.Fetch(page.ID(rec.PageID), true)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	if err := wal.Undo(h.Page(), rec); err != nil {
+		return err
+	}
+	h.MarkDirty()
+	return nil
+}
+
+func (s *Snapshot) undoAllocBitsOnSnapshot(rec *wal.Record) error {
+	h, err := s.pool.Fetch(page.ID(rec.PageID), true)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	if len(rec.OldData) != 1 {
+		return errors.New("asof: allocbits record without undo byte")
+	}
+	buf := h.Page().Bytes()
+	buf[64+int(rec.Slot)] = rec.OldData[0]
+	h.MarkDirty()
+	return nil
+}
+
+// --- read-only query API (mirrors the engine's DML read surface) ---
+
+// barrier blocks until the given row is no longer covered by an in-flight
+// transaction's reacquired lock.
+func (s *Snapshot) barrier(objectID uint32, key []byte) error {
+	if s.pending.Load() == 0 {
+		return nil
+	}
+	qid := s.queryIDs.Add(1) + 1000 // distinct from lockOwner
+	k := txn.Key{Object: objectID, Row: string(key)}
+	if err := s.locks.Lock(qid, k, txn.Shared); err != nil {
+		return fmt.Errorf("asof: query blocked on in-flight undo: %w", err)
+	}
+	s.locks.ReleaseAll(qid)
+	return nil
+}
+
+// Table resolves a table by name in the as-of catalog: a table dropped
+// after the split is still here, with its schema — the §1 walkthrough.
+func (s *Snapshot) Table(name string) (catalog.Table, error) {
+	return catalog.LookupByName(s, s.db.Roots(), name)
+}
+
+// Tables lists the as-of catalog.
+func (s *Snapshot) Tables() ([]catalog.Table, error) {
+	return catalog.List(s, s.db.Roots())
+}
+
+// Columns returns the as-of column metadata for a table.
+func (s *Snapshot) Columns(id uint32) ([]row.Column, error) {
+	return catalog.Columns(s, s.db.Roots(), id)
+}
+
+// Get fetches a row by primary key as of the snapshot time.
+func (s *Snapshot) Get(table string, keyVals row.Row) (row.Row, bool, error) {
+	t, err := s.Table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	key := row.EncodeKey(keyVals)
+	// The barrier keys by root page id — the object id carried in log
+	// records and used by lock reacquisition.
+	if err := s.barrier(uint32(t.Root), key); err != nil {
+		return nil, false, err
+	}
+	val, ok, err := btree.Get(s, t.Root, key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	r, err := row.Decode(val)
+	return r, true, err
+}
+
+// Scan iterates rows as of the snapshot time, primary keys in [from, to).
+//
+// Point reads block per-row on the reacquired locks; scans instead drain
+// the background undo first — a row deleted by an in-flight transaction is
+// not yet back in the tree, and no key exists for a scan to block on (SQL
+// Server closes this with key-range locks; we trade a short wait, bounded
+// by the in-flight transactions' sizes, for that machinery).
+func (s *Snapshot) Scan(table string, from, to row.Row, fn func(row.Row) bool) error {
+	if s.pending.Load() > 0 {
+		if err := s.WaitUndo(); err != nil {
+			return err
+		}
+	}
+	t, err := s.Table(table)
+	if err != nil {
+		return err
+	}
+	var fromKey, toKey []byte
+	if from != nil {
+		fromKey = row.EncodeKey(from)
+	}
+	if to != nil {
+		toKey = row.EncodeKey(to)
+	}
+	var inner error
+	err = btree.Scan(s, t.Root, fromKey, toKey, func(_, val []byte) bool {
+		r, err := row.Decode(val)
+		if err != nil {
+			inner = err
+			return false
+		}
+		return fn(r)
+	})
+	if err == nil {
+		err = inner
+	}
+	return err
+}
+
+// CountRows counts rows as of the snapshot time.
+func (s *Snapshot) CountRows(table string, from, to row.Row) (int, error) {
+	n := 0
+	err := s.Scan(table, from, to, func(row.Row) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// ScanIndex iterates rows whose indexed columns equal vals as of the
+// snapshot time, through the as-of image of the secondary index. Index
+// pages are ordinary data pages, so they rewind with exactly the same
+// PreparePageAsOf mechanism — §7.2's argument made concrete. A snapshot
+// mounted before the index existed does not see it (metadata time-travels
+// too).
+func (s *Snapshot) ScanIndex(idxName string, vals row.Row, fn func(row.Row) bool) error {
+	if s.pending.Load() > 0 {
+		if err := s.WaitUndo(); err != nil {
+			return err
+		}
+	}
+	ix, err := catalog.LookupIndex(s, s.db.Roots(), idxName)
+	if err != nil {
+		return err
+	}
+	t, err := catalog.LookupByID(s, s.db.Roots(), ix.TableID)
+	if err != nil {
+		return err
+	}
+	prefix := row.EncodeKey(vals)
+	upper := row.PrefixSuccessor(prefix)
+	var inner error
+	err = btree.Scan(s, ix.Root, prefix, upper, func(_, pkEnc []byte) bool {
+		pk, err := row.Decode(pkEnc)
+		if err != nil {
+			inner = err
+			return false
+		}
+		val, ok, err := btree.Get(s, t.Root, row.EncodeKey(pk))
+		if err != nil {
+			inner = err
+			return false
+		}
+		if !ok {
+			inner = fmt.Errorf("asof: index %q dangling as-of entry", idxName)
+			return false
+		}
+		r, err := row.Decode(val)
+		if err != nil {
+			inner = err
+			return false
+		}
+		return fn(r)
+	})
+	if err == nil {
+		err = inner
+	}
+	return err
+}

@@ -1,0 +1,172 @@
+package asof
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// ErrBeyondRetention is returned when the requested time predates the
+// retention period (§4.3) — the log needed to rewind that far may be gone.
+var ErrBeyondRetention = errors.New("asof: requested time is beyond the retention period")
+
+// SplitPoint is the resolved target of an as-of snapshot: the SplitLSN
+// (§5.1), the checkpoint the snapshot's recovery passes start from, and the
+// transactions that were in flight at the SplitLSN (to be undone, §5.2).
+type SplitPoint struct {
+	// SplitLSN is the point in time the snapshot is recovered to.
+	SplitLSN wal.LSN
+	// CkptBegin is the begin record of the most recent checkpoint at or
+	// before SplitLSN; analysis scans from here.
+	CkptBegin wal.LSN
+	// ATT lists transactions active at the SplitLSN, with their last log
+	// record at or before it.
+	ATT []wal.ATTEntry
+	// LogScanned is the number of log bytes read by the resolution passes
+	// (snapshot creation cost is bound by the log scanned, §6.2).
+	LogScanned int64
+}
+
+// ResolveTime translates a wall-clock time into a SplitPoint, mirroring
+// §5.1: the search first narrows the log region using the wall-clock times
+// in checkpoint records (walking the checkpoint chain backwards), then
+// scans forward using transaction commit records to find the actual
+// SplitLSN — the newest commit at or before the requested time.
+func ResolveTime(db *engine.DB, target time.Time) (SplitPoint, error) {
+	now := db.Now()
+	if retention := db.Retention(); retention > 0 && target.Before(now.Add(-retention)) {
+		return SplitPoint{}, fmt.Errorf("%w: %v < %v", ErrBeyondRetention,
+			target.Format(time.RFC3339), now.Add(-retention).Format(time.RFC3339))
+	}
+	targetNS := target.UnixNano()
+
+	// Phase 1 (§5.1): narrow by checkpoint wall-clock times.
+	ckptBegin, _, err := newestCheckpointNotAfter(db, targetNS)
+	if err != nil {
+		return SplitPoint{}, err
+	}
+
+	// Phase 2: scan commit records forward from the checkpoint to find the
+	// SplitLSN.
+	split := ckptBegin
+	err = db.Log().Scan(ckptBegin, func(rec *wal.Record) (bool, error) {
+		if rec.Type == wal.TypeCommit {
+			if rec.WallClock <= targetNS {
+				split = rec.LSN
+				return true, nil
+			}
+			return false, nil // commits past the target: stop
+		}
+		return true, nil
+	})
+	if err != nil {
+		return SplitPoint{}, err
+	}
+	return resolveAt(db, split, ckptBegin)
+}
+
+// ResolveLSN builds a SplitPoint for an explicit LSN (used by tests and by
+// the point-in-time restore baseline).
+func ResolveLSN(db *engine.DB, split wal.LSN) (SplitPoint, error) {
+	ckptBegin, err := newestCheckpointNotAfterLSN(db, split)
+	if err != nil {
+		return SplitPoint{}, err
+	}
+	return resolveAt(db, split, ckptBegin)
+}
+
+// resolveAt runs the analysis pass (§5.2): from the checkpoint to the
+// SplitLSN, rebuild the table of transactions in flight at the SplitLSN.
+func resolveAt(db *engine.DB, split, ckptBegin wal.LSN) (SplitPoint, error) {
+	att := make(map[uint64]*wal.ATTEntry)
+	var scanned int64
+	// Seed from the checkpoint-end record's ATT if the checkpoint
+	// completed before the split.
+	seedEnd := wal.NilLSN
+	err := db.Log().Scan(ckptBegin, func(rec *wal.Record) (bool, error) {
+		if rec.LSN > split {
+			return false, nil
+		}
+		scanned += int64(rec.ApproxSize())
+		switch rec.Type {
+		case wal.TypeCheckpointEnd:
+			data, err := wal.DecodeCheckpoint(rec.Extra)
+			if err != nil {
+				return false, err
+			}
+			if data.BeginLSN == ckptBegin && seedEnd == wal.NilLSN {
+				seedEnd = rec.LSN
+				for i := range data.ATT {
+					e := data.ATT[i]
+					if _, ok := att[e.TxnID]; !ok {
+						att[e.TxnID] = &e
+					}
+				}
+			}
+		case wal.TypeBegin:
+			att[rec.TxnID] = &wal.ATTEntry{TxnID: rec.TxnID, LastLSN: rec.LSN, BeginLSN: rec.LSN}
+		case wal.TypeCommit, wal.TypeAbort:
+			delete(att, rec.TxnID)
+		default:
+			if rec.TxnID != 0 {
+				if e, ok := att[rec.TxnID]; ok {
+					e.LastLSN = rec.LSN
+				} else {
+					att[rec.TxnID] = &wal.ATTEntry{TxnID: rec.TxnID, LastLSN: rec.LSN}
+				}
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return SplitPoint{}, err
+	}
+	sp := SplitPoint{SplitLSN: split, CkptBegin: ckptBegin, LogScanned: scanned}
+	for _, e := range att {
+		sp.ATT = append(sp.ATT, *e)
+	}
+	return sp, nil
+}
+
+// newestCheckpointNotAfter finds the newest checkpoint whose wall-clock
+// time is at or before targetNS, returning its begin and end LSNs. The
+// engine's in-memory checkpoint index (rebuilt from the on-disk chain at
+// open) answers this with a binary search; if the index is empty the search
+// degrades to the log's truncation point.
+func newestCheckpointNotAfter(db *engine.DB, targetNS int64) (begin, end wal.LSN, err error) {
+	marks := db.CheckpointIndex()
+	lo, hi := 0, len(marks) // first mark with WallClock > target
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if marks[mid].WallClock <= targetNS {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return db.Log().TruncationPoint(), wal.NilLSN, nil
+	}
+	m := marks[lo-1]
+	return m.Begin, m.End, nil
+}
+
+func newestCheckpointNotAfterLSN(db *engine.DB, split wal.LSN) (wal.LSN, error) {
+	marks := db.CheckpointIndex()
+	lo, hi := 0, len(marks) // first mark with End > split
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if marks[mid].End <= split {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return db.Log().TruncationPoint(), nil
+	}
+	return marks[lo-1].Begin, nil
+}

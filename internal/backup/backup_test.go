@@ -1,0 +1,258 @@
+package backup
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/row"
+	"repro/internal/storage/media"
+)
+
+type vclock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newVClock() *vclock {
+	return &vclock{t: time.Date(2012, 3, 22, 17, 0, 0, 0, time.UTC)}
+}
+
+func (c *vclock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *vclock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}
+
+func schema() *row.Schema {
+	return &row.Schema{
+		Name: "t",
+		Columns: []row.Column{
+			{Name: "id", Kind: row.KindInt64},
+			{Name: "body", Kind: row.KindString},
+		},
+		KeyCols: 1,
+	}
+}
+
+func r(id int, body string) row.Row {
+	return row.Row{row.Int64(int64(id)), row.String(body)}
+}
+
+func exec(t *testing.T, db *engine.DB, fn func(tx *engine.Txn) error) {
+	t.Helper()
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullBackupAndRestoreToTime(t *testing.T) {
+	clock := newVClock()
+	dir := t.TempDir()
+	db, err := engine.Open(filepath.Join(dir, "db"), engine.Options{Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	exec(t, db, func(tx *engine.Txn) error { return tx.CreateTable(schema()) })
+	exec(t, db, func(tx *engine.Txn) error {
+		for i := 0; i < 100; i++ {
+			if err := tx.Insert("t", r(i, "gen1")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	m, err := Full(db, filepath.Join(dir, "full.bak"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pages == 0 || m.BackupLSN == 0 {
+		t.Fatalf("manifest: %+v", m)
+	}
+
+	// More committed work after the backup, in two generations.
+	gen2At := clock.Advance(time.Minute)
+	exec(t, db, func(tx *engine.Txn) error {
+		for i := 0; i < 50; i++ {
+			if err := tx.Update("t", r(i, "gen2")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	clock.Advance(time.Minute)
+	exec(t, db, func(tx *engine.Txn) error {
+		for i := 100; i < 150; i++ {
+			if err := tx.Insert("t", r(i, "gen3")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// Restore to just after gen2's commit: sees gen2 but not gen3.
+	rst, err := RestoreToTime(m, db.Log(), gen2At.Add(time.Second), filepath.Join(dir, "restored.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	n, err := rst.CountRows("t", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("restored rows = %d, want 100", n)
+	}
+	rr, ok, err := rst.Get("t", row.Row{row.Int64(10)})
+	if err != nil || !ok {
+		t.Fatalf("restored get: ok=%v err=%v", ok, err)
+	}
+	if rr[1].Str != "gen2" {
+		t.Fatalf("restored row = %v, want gen2", rr)
+	}
+	if _, ok, _ := rst.Get("t", row.Row{row.Int64(120)}); ok {
+		t.Fatal("restore replayed past the target time")
+	}
+}
+
+func TestRestoreAtBackupPoint(t *testing.T) {
+	clock := newVClock()
+	dir := t.TempDir()
+	db, err := engine.Open(filepath.Join(dir, "db"), engine.Options{Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	exec(t, db, func(tx *engine.Txn) error { return tx.CreateTable(schema()) })
+	exec(t, db, func(tx *engine.Txn) error { return tx.Insert("t", r(1, "only")) })
+
+	m, err := Full(db, filepath.Join(dir, "full.bak"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst, err := RestoreToLSN(m, db.Log(), m.BackupLSN, filepath.Join(dir, "restored.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	rr, ok, err := rst.Get("t", row.Row{row.Int64(1)})
+	if err != nil || !ok || rr[1].Str != "only" {
+		t.Fatalf("restore at backup point: %v ok=%v err=%v", rr, ok, err)
+	}
+}
+
+func TestRestoreUndoesInFlight(t *testing.T) {
+	clock := newVClock()
+	dir := t.TempDir()
+	db, err := engine.Open(filepath.Join(dir, "db"), engine.Options{Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	exec(t, db, func(tx *engine.Txn) error { return tx.CreateTable(schema()) })
+	exec(t, db, func(tx *engine.Txn) error { return tx.Insert("t", r(1, "committed")) })
+	m, err := Full(db, filepath.Join(dir, "full.bak"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-flight at the restore target.
+	inflight, _ := db.Begin()
+	if err := inflight.Update("t", r(1, "uncommitted")); err != nil {
+		t.Fatal(err)
+	}
+	split := db.Log().NextLSN() - 1
+	rst, err := RestoreToLSN(m, db.Log(), split, filepath.Join(dir, "restored.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	rr, ok, err := rst.Get("t", row.Row{row.Int64(1)})
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if rr[1].Str != "committed" {
+		t.Fatalf("restore exposed uncommitted data: %v", rr)
+	}
+	inflight.Rollback()
+}
+
+func TestRestoreRejectsPreBackupTarget(t *testing.T) {
+	clock := newVClock()
+	dir := t.TempDir()
+	db, err := engine.Open(filepath.Join(dir, "db"), engine.Options{Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	exec(t, db, func(tx *engine.Txn) error { return tx.CreateTable(schema()) })
+	m, err := Full(db, filepath.Join(dir, "full.bak"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreToLSN(m, db.Log(), m.BackupLSN-10, filepath.Join(dir, "x.db"), nil); err == nil {
+		t.Fatal("restore before the backup point should fail")
+	}
+}
+
+func TestBackupAndRestoreChargeSequentialIO(t *testing.T) {
+	clock := newVClock()
+	dir := t.TempDir()
+	dataDev := media.New(media.SAS(), nil)
+	db, err := engine.Open(filepath.Join(dir, "db"), engine.Options{Now: clock.Now, DataDevice: dataDev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	exec(t, db, func(tx *engine.Txn) error { return tx.CreateTable(schema()) })
+	exec(t, db, func(tx *engine.Txn) error {
+		for i := 0; i < 200; i++ {
+			if err := tx.Insert("t", r(i, fmt.Sprintf("row-%04d", i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	bakDev := media.New(media.SAS(), nil)
+	m, err := Full(db, filepath.Join(dir, "full.bak"), bakDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bakDev.Stats.SeqWrites.Load() == 0 || bakDev.Stats.RandWrites.Load() != 0 {
+		t.Fatalf("backup writes should be sequential: %+v", bakDev.Stats.Snapshot())
+	}
+
+	rstDev := media.New(media.SAS(), nil)
+	rst, err := RestoreToLSN(m, db.Log(), db.Log().NextLSN()-1, filepath.Join(dir, "restored.db"), rstDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	if rstDev.Stats.SeqWrites.Load() < int64(m.Pages) {
+		t.Fatalf("restore should write the whole image sequentially: %+v", rstDev.Stats.Snapshot())
+	}
+	if rstDev.Clock.Elapsed() == 0 {
+		t.Fatal("restore charged no time")
+	}
+}

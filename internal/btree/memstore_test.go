@@ -1,0 +1,172 @@
+package btree
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/storage/page"
+	"repro/internal/wal"
+)
+
+// memStore is an in-memory Store for tests. It applies operations through
+// wal.Redo — the same physiological apply path the engine uses — and keeps
+// the full record history so tests can replay or unwind pages.
+type memStore struct {
+	mu      sync.Mutex
+	pages   map[page.ID]*page.Page
+	nextID  page.ID
+	nextLSN wal.LSN
+	history []*wal.Record
+	locks   map[page.ID]*sync.RWMutex
+}
+
+func newMemStore() *memStore {
+	return &memStore{
+		pages:   make(map[page.ID]*page.Page),
+		nextID:  2, // 0 = boot, 1 = alloc map in the real engine
+		locks:   make(map[page.ID]*sync.RWMutex),
+		nextLSN: 1,
+	}
+}
+
+type memHandle struct {
+	p        *page.Page
+	released bool
+}
+
+func (h *memHandle) Page() *page.Page { return h.p }
+func (h *memHandle) Release() {
+	if h.released {
+		panic("memstore: double release")
+	}
+	h.released = true
+}
+
+func (m *memStore) Fetch(id page.ID, excl bool) (Handle, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("memstore: no page %d", id)
+	}
+	return &memHandle{p: p}, nil
+}
+
+func (m *memStore) Alloc(objectID uint32, t page.Type, level uint8) (Handle, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	p := page.New()
+	m.pages[id] = p
+	rec := &wal.Record{
+		Type: wal.TypeFormat, PageID: uint32(id), ObjectID: objectID,
+		Extra: []byte{byte(t), level},
+	}
+	if err := m.logApplyLocked(p, rec); err != nil {
+		return nil, err
+	}
+	return &memHandle{p: p}, nil
+}
+
+func (m *memStore) Free(objectID uint32, id page.ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.pages[id]; !ok {
+		return fmt.Errorf("memstore: free of missing page %d", id)
+	}
+	// Content is preserved (as in the real engine); only mark it free by
+	// forgetting it from the fetchable set.
+	delete(m.pages, id)
+	return nil
+}
+
+func (m *memStore) logApplyLocked(p *page.Page, rec *wal.Record) error {
+	rec.PrevPageLSN = wal.LSN(p.PageLSN())
+	rec.LSN = m.nextLSN
+	m.nextLSN++
+	m.history = append(m.history, rec)
+	return wal.Redo(p, rec)
+}
+
+func (m *memStore) InsertRec(h Handle, objectID uint32, slot int, rec []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := h.Page()
+	return m.logApplyLocked(p, &wal.Record{
+		Type: wal.TypeInsert, PageID: uint32(p.ID()), ObjectID: objectID,
+		Slot: uint16(slot), NewData: append([]byte(nil), rec...),
+	})
+}
+
+func (m *memStore) DeleteRec(h Handle, objectID uint32, slot int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := h.Page()
+	old, err := p.Get(slot)
+	if err != nil {
+		return err
+	}
+	return m.logApplyLocked(p, &wal.Record{
+		Type: wal.TypeDelete, PageID: uint32(p.ID()), ObjectID: objectID,
+		Slot: uint16(slot), OldData: append([]byte(nil), old...),
+	})
+}
+
+func (m *memStore) UpdateRec(h Handle, objectID uint32, slot int, rec []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := h.Page()
+	old, err := p.Get(slot)
+	if err != nil {
+		return err
+	}
+	return m.logApplyLocked(p, &wal.Record{
+		Type: wal.TypeUpdate, PageID: uint32(p.ID()), ObjectID: objectID,
+		Slot: uint16(slot), OldData: append([]byte(nil), old...),
+		NewData: append([]byte(nil), rec...),
+	})
+}
+
+func (m *memStore) Reformat(h Handle, objectID uint32, t page.Type, level uint8) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := h.Page()
+	if err := m.logApplyLocked(p, &wal.Record{
+		Type: wal.TypePreformat, PageID: uint32(p.ID()), ObjectID: objectID,
+		OldData: append([]byte(nil), p.Bytes()...),
+	}); err != nil {
+		return err
+	}
+	return m.logApplyLocked(p, &wal.Record{
+		Type: wal.TypeFormat, PageID: uint32(p.ID()), ObjectID: objectID,
+		Extra: []byte{byte(t), level},
+	})
+}
+
+func (m *memStore) BeginNTA() uint64 { return 0 }
+func (m *memStore) EndNTA(uint64)    {}
+
+func (m *memStore) TreeLock(root page.ID) *sync.RWMutex {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[root]
+	if !ok {
+		l = &sync.RWMutex{}
+		m.locks[root] = l
+	}
+	return l
+}
+
+// pageHistory returns the per-page record chain (oldest first) for id.
+func (m *memStore) pageHistory(id page.ID) []*wal.Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*wal.Record
+	for _, r := range m.history {
+		if r.PageID == uint32(id) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

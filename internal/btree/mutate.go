@@ -1,0 +1,280 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/storage/page"
+)
+
+// Insert stores key -> val, failing with ErrKeyExists on duplicates.
+// The fast path holds the tree lock shared and only the leaf exclusively;
+// if the leaf is full, it retries with the tree lock exclusive, splitting
+// full nodes on the way down.
+func Insert(st Store, root page.ID, key, val []byte) error {
+	if err := checkSizes(key, val); err != nil {
+		return err
+	}
+	rec := EncodeLeafRec(key, val)
+	lock := st.TreeLock(root)
+
+	lock.RLock()
+	done, err := insertFast(st, root, key, rec)
+	lock.RUnlock()
+	if done || err != nil {
+		return err
+	}
+
+	lock.Lock()
+	defer lock.Unlock()
+	return insertSlow(st, root, key, rec)
+}
+
+// insertFast attempts the no-split insert. Returns done=false when a split
+// is required.
+func insertFast(st Store, root page.ID, key, rec []byte) (bool, error) {
+	h, err := descendToLeaf(st, root, key, true)
+	if err != nil {
+		return true, err
+	}
+	defer h.Release()
+	slot, found := leafSearch(h.Page(), key)
+	if found {
+		return true, fmt.Errorf("%w: %x", ErrKeyExists, key)
+	}
+	if h.Page().FreeSpace() < len(rec)+8 {
+		return false, nil
+	}
+	return true, st.InsertRec(h, uint32(root), slot, rec)
+}
+
+// insertSlow inserts under the exclusive tree lock, splitting any node that
+// could overflow before descending into it (single-pass preemptive split).
+func insertSlow(st Store, root page.ID, key, rec []byte) error {
+	// Guarantee the root itself has room for a post-split separator or the
+	// record, then descend.
+	rh, err := st.Fetch(root, true)
+	if err != nil {
+		return err
+	}
+	if rh.Page().FreeSpace() < splitReserve {
+		if err := splitRoot(st, root, rh); err != nil {
+			rh.Release()
+			return err
+		}
+	}
+	cur := rh
+	for cur.Page().Level() > 0 {
+		idx := childIndex(cur.Page(), key)
+		childID := childAt(cur.Page(), idx)
+		child, err := st.Fetch(childID, true)
+		if err != nil {
+			cur.Release()
+			return err
+		}
+		if child.Page().FreeSpace() < splitReserve {
+			// Split the child; its separator goes into cur, which has
+			// guaranteed reserve space. Then re-pick the descent child.
+			if err := splitChild(st, root, cur, idx, child); err != nil {
+				child.Release()
+				cur.Release()
+				return err
+			}
+			child.Release()
+			idx = childIndex(cur.Page(), key)
+			childID = childAt(cur.Page(), idx)
+			child, err = st.Fetch(childID, true)
+			if err != nil {
+				cur.Release()
+				return err
+			}
+		}
+		cur.Release()
+		cur = child
+	}
+	defer cur.Release()
+	slot, found := leafSearch(cur.Page(), key)
+	if found {
+		return fmt.Errorf("%w: %x", ErrKeyExists, key)
+	}
+	return st.InsertRec(cur, uint32(root), slot, rec)
+}
+
+// splitChild splits the full child (latched exclusively, at parent slot
+// parentIdx) by moving its upper half into a freshly allocated sibling and
+// inserting the separator into parent. Moves are logged as inserts into the
+// new page followed by deletes from the old page, the deletes carrying row
+// images (§4.2 extension 3).
+func splitChild(st Store, root page.ID, parent Handle, parentIdx int, child Handle) error {
+	cp := child.Page()
+	n := cp.NumSlots()
+	if n < 2 {
+		return fmt.Errorf("btree: cannot split page %d with %d records", cp.ID(), n)
+	}
+	nta := st.BeginNTA()
+	defer st.EndNTA(nta)
+	mid := n / 2
+	sep := append([]byte(nil), recKey(cp, mid)...)
+
+	sib, err := st.Alloc(uint32(root), cp.Type(), cp.Level())
+	if err != nil {
+		return err
+	}
+	defer sib.Release()
+
+	// Inserts into the new page...
+	for i := mid; i < n; i++ {
+		if err := st.InsertRec(sib, uint32(root), i-mid, cp.MustGet(i)); err != nil {
+			return err
+		}
+	}
+	// ...followed by deletes from the old page, top down so earlier slot
+	// indexes stay valid.
+	for i := n - 1; i >= mid; i-- {
+		if err := st.DeleteRec(child, uint32(root), i); err != nil {
+			return err
+		}
+	}
+	// Separator into the parent (guaranteed reserve space).
+	return st.InsertRec(parent, uint32(root), parentIdx+1, encodeInternalRec(sep, sib.Page().ID()))
+}
+
+// splitRoot grows the tree by one level while keeping the root page id
+// stable: all root records move into two new children, then the root is
+// reformatted in place as an internal node. The reformat is preceded by a
+// preformat record carrying the prior root image, so as-of queries can
+// rewind across the root split (paper Figure 2 applies to any reformat of a
+// page with live prior content, not just re-allocation).
+func splitRoot(st Store, root page.ID, rh Handle) error {
+	rp := rh.Page()
+	n := rp.NumSlots()
+	if n < 2 {
+		return fmt.Errorf("btree: cannot split root %d with %d records", root, n)
+	}
+	nta := st.BeginNTA()
+	defer st.EndNTA(nta)
+	mid := n / 2
+	level := rp.Level()
+	typ := rp.Type()
+	sepHigh := append([]byte(nil), recKey(rp, mid)...)
+
+	left, err := st.Alloc(uint32(root), typ, level)
+	if err != nil {
+		return err
+	}
+	defer left.Release()
+	right, err := st.Alloc(uint32(root), typ, level)
+	if err != nil {
+		return err
+	}
+	defer right.Release()
+
+	for i := 0; i < mid; i++ {
+		if err := st.InsertRec(left, uint32(root), i, rp.MustGet(i)); err != nil {
+			return err
+		}
+	}
+	for i := mid; i < n; i++ {
+		if err := st.InsertRec(right, uint32(root), i-mid, rp.MustGet(i)); err != nil {
+			return err
+		}
+	}
+	if err := st.Reformat(rh, uint32(root), page.TypeInternal, level+1); err != nil {
+		return err
+	}
+	// Slot 0's key is -infinity by convention; store it empty.
+	if err := st.InsertRec(rh, uint32(root), 0, encodeInternalRec(nil, left.Page().ID())); err != nil {
+		return err
+	}
+	return st.InsertRec(rh, uint32(root), 1, encodeInternalRec(sepHigh, right.Page().ID()))
+}
+
+// Update replaces the value under key, failing with ErrKeyNotFound if absent.
+func Update(st Store, root page.ID, key, val []byte) error {
+	if err := checkSizes(key, val); err != nil {
+		return err
+	}
+	rec := EncodeLeafRec(key, val)
+	lock := st.TreeLock(root)
+
+	lock.RLock()
+	err := updateInPlace(st, root, key, rec)
+	lock.RUnlock()
+	if !errors.Is(err, page.ErrPageFull) {
+		return err
+	}
+
+	// The grown record does not fit: delete + insert under the exclusive
+	// tree lock (the insert path may split).
+	lock.Lock()
+	defer lock.Unlock()
+	h, err := descendToLeaf(st, root, key, true)
+	if err != nil {
+		return err
+	}
+	slot, found := leafSearch(h.Page(), key)
+	if !found {
+		h.Release()
+		return fmt.Errorf("%w: %x", ErrKeyNotFound, key)
+	}
+	if err := st.DeleteRec(h, uint32(root), slot); err != nil {
+		h.Release()
+		return err
+	}
+	h.Release()
+	return insertSlow(st, root, key, rec)
+}
+
+func updateInPlace(st Store, root page.ID, key, rec []byte) error {
+	h, err := descendToLeaf(st, root, key, true)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	slot, found := leafSearch(h.Page(), key)
+	if !found {
+		return fmt.Errorf("%w: %x", ErrKeyNotFound, key)
+	}
+	return st.UpdateRec(h, uint32(root), slot, rec)
+}
+
+// Delete removes key, returning its previous value. Leaves are never merged
+// (empty leaves are legal and handled by scans); this matches the paper's
+// engine where deallocation happens at drop/truncate granularity.
+func Delete(st Store, root page.ID, key []byte) ([]byte, error) {
+	lock := st.TreeLock(root)
+	lock.RLock()
+	defer lock.RUnlock()
+	h, err := descendToLeaf(st, root, key, true)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Release()
+	slot, found := leafSearch(h.Page(), key)
+	if !found {
+		return nil, fmt.Errorf("%w: %x", ErrKeyNotFound, key)
+	}
+	_, val := DecodeLeafRec(h.Page().MustGet(slot))
+	old := append([]byte(nil), val...)
+	if err := st.DeleteRec(h, uint32(root), slot); err != nil {
+		return nil, err
+	}
+	return old, nil
+}
+
+// UndoInsert, UndoDelete and UndoUpdate are the logical-undo entry points
+// used by transaction rollback and by as-of snapshot recovery (§5.2): they
+// re-locate the row by key (it may have moved to another page through
+// splits since the original operation) and apply the inverse operation.
+func UndoInsert(st Store, root page.ID, key []byte) error {
+	_, err := Delete(st, root, key)
+	return err
+}
+
+func UndoDelete(st Store, root page.ID, key, val []byte) error {
+	return Insert(st, root, key, val)
+}
+
+func UndoUpdate(st Store, root page.ID, key, oldVal []byte) error {
+	return Update(st, root, key, oldVal)
+}

@@ -1,0 +1,276 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/row"
+	"repro/internal/storage/page"
+	"repro/internal/wal"
+)
+
+// memStore duplicates the btree test store (test helpers cannot be imported
+// across packages); it applies operations through wal.Redo.
+type memStore struct {
+	mu      sync.Mutex
+	pages   map[page.ID]*page.Page
+	nextID  page.ID
+	nextLSN wal.LSN
+	locks   map[page.ID]*sync.RWMutex
+}
+
+func newMemStore() *memStore {
+	return &memStore{
+		pages:   make(map[page.ID]*page.Page),
+		nextID:  2,
+		nextLSN: 1,
+		locks:   make(map[page.ID]*sync.RWMutex),
+	}
+}
+
+type memHandle struct{ p *page.Page }
+
+func (h *memHandle) Page() *page.Page { return h.p }
+func (h *memHandle) Release()         {}
+
+func (m *memStore) Fetch(id page.ID, excl bool) (btree.Handle, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("no page %d", id)
+	}
+	return &memHandle{p: p}, nil
+}
+
+func (m *memStore) apply(p *page.Page, rec *wal.Record) error {
+	rec.PrevPageLSN = wal.LSN(p.PageLSN())
+	rec.LSN = m.nextLSN
+	m.nextLSN++
+	return wal.Redo(p, rec)
+}
+
+func (m *memStore) Alloc(objectID uint32, t page.Type, level uint8) (btree.Handle, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	p := page.New()
+	m.pages[id] = p
+	if err := m.apply(p, &wal.Record{Type: wal.TypeFormat, PageID: uint32(id), ObjectID: objectID, Extra: []byte{byte(t), level}}); err != nil {
+		return nil, err
+	}
+	return &memHandle{p: p}, nil
+}
+
+func (m *memStore) Free(objectID uint32, id page.ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.pages, id)
+	return nil
+}
+
+func (m *memStore) InsertRec(h btree.Handle, oid uint32, slot int, rec []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.apply(h.Page(), &wal.Record{Type: wal.TypeInsert, PageID: uint32(h.Page().ID()), ObjectID: oid, Slot: uint16(slot), NewData: append([]byte(nil), rec...)})
+}
+
+func (m *memStore) DeleteRec(h btree.Handle, oid uint32, slot int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old, err := h.Page().Get(slot)
+	if err != nil {
+		return err
+	}
+	return m.apply(h.Page(), &wal.Record{Type: wal.TypeDelete, PageID: uint32(h.Page().ID()), ObjectID: oid, Slot: uint16(slot), OldData: append([]byte(nil), old...)})
+}
+
+func (m *memStore) UpdateRec(h btree.Handle, oid uint32, slot int, rec []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old, err := h.Page().Get(slot)
+	if err != nil {
+		return err
+	}
+	return m.apply(h.Page(), &wal.Record{Type: wal.TypeUpdate, PageID: uint32(h.Page().ID()), ObjectID: oid, Slot: uint16(slot), OldData: append([]byte(nil), old...), NewData: append([]byte(nil), rec...)})
+}
+
+func (m *memStore) Reformat(h btree.Handle, oid uint32, t page.Type, level uint8) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.apply(h.Page(), &wal.Record{Type: wal.TypePreformat, PageID: uint32(h.Page().ID()), ObjectID: oid, OldData: append([]byte(nil), h.Page().Bytes()...)}); err != nil {
+		return err
+	}
+	return m.apply(h.Page(), &wal.Record{Type: wal.TypeFormat, PageID: uint32(h.Page().ID()), ObjectID: oid, Extra: []byte{byte(t), level}})
+}
+
+func (m *memStore) BeginNTA() uint64 { return 0 }
+func (m *memStore) EndNTA(uint64)    {}
+
+func (m *memStore) TreeLock(root page.ID) *sync.RWMutex {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[root]
+	if !ok {
+		l = &sync.RWMutex{}
+		m.locks[root] = l
+	}
+	return l
+}
+
+func testSchema(name string) *row.Schema {
+	return &row.Schema{
+		Name: name,
+		Columns: []row.Column{
+			{Name: "id", Kind: row.KindInt64},
+			{Name: "body", Kind: row.KindString},
+		},
+		KeyCols: 1,
+	}
+}
+
+func setup(t *testing.T) (*memStore, Roots) {
+	t.Helper()
+	st := newMemStore()
+	roots, err := Bootstrap(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !roots.Valid() {
+		t.Fatalf("bootstrap roots invalid: %+v", roots)
+	}
+	return st, roots
+}
+
+func TestCreateLookupDrop(t *testing.T) {
+	st, roots := setup(t)
+	root, err := btree.Create(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := Table{ID: 10, Name: "orders", Root: root, Schema: testSchema("orders")}
+	if err := Create(st, roots, tbl); err != nil {
+		t.Fatal(err)
+	}
+
+	byName, err := LookupByName(st, roots, "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName.ID != 10 || byName.Root != root || byName.Schema.Name != "orders" {
+		t.Fatalf("lookup by name: %+v", byName)
+	}
+	byID, err := LookupByID(st, roots, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byID.Name != "orders" {
+		t.Fatalf("lookup by id: %+v", byID)
+	}
+
+	cols, err := Columns(st, roots, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0].Name != "id" || cols[1].Kind != row.KindString {
+		t.Fatalf("columns: %+v", cols)
+	}
+
+	dropped, err := Drop(st, roots, "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped.ID != 10 {
+		t.Fatalf("dropped: %+v", dropped)
+	}
+	if _, err := LookupByName(st, roots, "orders"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup after drop: %v", err)
+	}
+	if cols, _ := Columns(st, roots, 10); len(cols) != 0 {
+		t.Fatalf("columns survive drop: %+v", cols)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	st, roots := setup(t)
+	tbl := Table{ID: 1, Name: "t", Root: 99, Schema: testSchema("t")}
+	if err := Create(st, roots, tbl); err != nil {
+		t.Fatal(err)
+	}
+	tbl2 := Table{ID: 2, Name: "t", Root: 100, Schema: testSchema("t")}
+	if err := Create(st, roots, tbl2); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+}
+
+func TestListAndMaxObjectID(t *testing.T) {
+	st, roots := setup(t)
+	for i := uint32(1); i <= 5; i++ {
+		tbl := Table{ID: i * 7, Name: fmt.Sprintf("t%d", i), Root: page.ID(100 + i), Schema: testSchema("x")}
+		if err := Create(st, roots, tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tables, err := List(st, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("List returned %d tables", len(tables))
+	}
+	for i := 1; i < len(tables); i++ {
+		if tables[i].ID <= tables[i-1].ID {
+			t.Fatal("List not in id order")
+		}
+	}
+	maxID, err := MaxObjectID(st, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxID != 35 {
+		t.Fatalf("MaxObjectID = %d, want 35", maxID)
+	}
+}
+
+func TestMaxObjectIDEmpty(t *testing.T) {
+	st, roots := setup(t)
+	maxID, err := MaxObjectID(st, roots)
+	if err != nil || maxID != 0 {
+		t.Fatalf("empty MaxObjectID = %d, %v", maxID, err)
+	}
+}
+
+func TestDropMissing(t *testing.T) {
+	st, roots := setup(t)
+	if _, err := Drop(st, roots, "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("drop missing: %v", err)
+	}
+}
+
+func TestColumnsScopedPerTable(t *testing.T) {
+	st, roots := setup(t)
+	a := Table{ID: 1, Name: "a", Root: 50, Schema: testSchema("a")}
+	b := Table{ID: 2, Name: "b", Root: 51, Schema: &row.Schema{
+		Name:    "b",
+		Columns: []row.Column{{Name: "k", Kind: row.KindInt64}, {Name: "x", Kind: row.KindFloat64}, {Name: "y", Kind: row.KindBool}},
+		KeyCols: 1,
+	}}
+	if err := Create(st, roots, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Create(st, roots, b); err != nil {
+		t.Fatal(err)
+	}
+	colsA, _ := Columns(st, roots, 1)
+	colsB, _ := Columns(st, roots, 2)
+	if len(colsA) != 2 || len(colsB) != 3 {
+		t.Fatalf("column scoping: a=%d b=%d", len(colsA), len(colsB))
+	}
+	if colsB[2].Name != "y" || colsB[2].Kind != row.KindBool {
+		t.Fatalf("colsB[2] = %+v", colsB[2])
+	}
+}

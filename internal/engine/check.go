@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/row"
+	"repro/internal/storage/page"
+)
+
+// CheckReport summarizes a consistency check.
+type CheckReport struct {
+	Tables int
+	Pages  int
+	// Records counts user-table rows; SystemRecords catalog rows.
+	Records       int
+	SystemRecords int
+	SystemObjs    int
+}
+
+func (r CheckReport) String() string {
+	return fmt.Sprintf("tables=%d pages=%d records=%d sysrecords=%d",
+		r.Tables, r.Pages, r.Records, r.SystemRecords)
+}
+
+// CheckConsistency verifies the physical and logical integrity of the
+// database (in the spirit of DBCC CHECKDB):
+//
+//   - every catalog entry decodes and its schema validates;
+//   - every table's B-Tree is well formed: levels descend by one, keys are
+//     strictly increasing within and across pages, internal separators
+//     bound their subtrees, and records decode against the schema;
+//   - every page reachable from a tree is marked allocated (with the
+//     ever-allocated bit set) in the allocation maps;
+//   - no two trees share a page.
+//
+// It runs inside a read transaction and returns the first inconsistency.
+func (db *DB) CheckConsistency() (CheckReport, error) {
+	var report CheckReport
+	tx, err := db.Begin()
+	if err != nil {
+		return report, err
+	}
+	defer tx.Rollback()
+
+	seen := make(map[page.ID]uint32) // page -> owning root
+	roots := db.Roots()
+	system := []struct {
+		name string
+		root page.ID
+	}{
+		{"sys_tables", roots.Tables},
+		{"sys_names", roots.Names},
+		{"sys_columns", roots.Columns},
+	}
+	for _, s := range system {
+		if err := checkTree(tx, s.root, nil, seen, &report); err != nil {
+			return report, fmt.Errorf("engine: check %s: %w", s.name, err)
+		}
+		report.SystemObjs++
+	}
+
+	tables, err := catalog.List(tx, roots)
+	if err != nil {
+		return report, err
+	}
+	for _, t := range tables {
+		if err := t.Schema.Validate(); err != nil {
+			return report, fmt.Errorf("engine: check %s: bad schema: %w", t.Name, err)
+		}
+		if err := checkTree(tx, t.Root, t.Schema, seen, &report); err != nil {
+			return report, fmt.Errorf("engine: check %s: %w", t.Name, err)
+		}
+		report.Tables++
+	}
+	return report, nil
+}
+
+// checkTree validates one tree. schema may be nil (system trees hold
+// catalog-encoded rows checked by the catalog layer itself).
+func checkTree(tx *Txn, root page.ID, schema *row.Schema, seen map[page.ID]uint32, report *CheckReport) error {
+	h, err := tx.Fetch(root, false)
+	if err != nil {
+		return fmt.Errorf("root %d: %w", root, err)
+	}
+	level := h.Page().Level()
+	h.Release()
+	var last []byte
+	return checkNode(tx, uint32(root), root, int(level), nil, nil, &last, schema, seen, report)
+}
+
+// checkNode validates the subtree at id, which must sit at the given level
+// with keys in [lower, upper).
+func checkNode(tx *Txn, owner uint32, id page.ID, level int, lower, upper []byte, last *[]byte, schema *row.Schema, seen map[page.ID]uint32, report *CheckReport) error {
+	if prev, dup := seen[id]; dup {
+		return fmt.Errorf("page %d reachable from both object %d and %d", id, prev, owner)
+	}
+	seen[id] = owner
+	report.Pages++
+
+	if err := checkAllocated(tx, id); err != nil {
+		return err
+	}
+
+	h, err := tx.Fetch(id, false)
+	if err != nil {
+		return fmt.Errorf("page %d: %w", id, err)
+	}
+	defer h.Release()
+	p := h.Page()
+	if int(p.Level()) != level {
+		return fmt.Errorf("page %d: level %d, want %d", id, p.Level(), level)
+	}
+	wantType := page.TypeLeaf
+	if level > 0 {
+		wantType = page.TypeInternal
+	}
+	if p.Type() != wantType {
+		return fmt.Errorf("page %d: type %v at level %d", id, p.Type(), level)
+	}
+
+	n := p.NumSlots()
+	type childRef struct {
+		id           page.ID
+		lower, upper []byte
+	}
+	var children []childRef
+	var prevKey []byte
+	for i := 0; i < n; i++ {
+		rec, err := p.Get(i)
+		if err != nil {
+			return fmt.Errorf("page %d slot %d: %w", id, i, err)
+		}
+		key, val := btree.DecodeLeafRec(rec)
+		// Slot 0 of an internal node is the -infinity separator.
+		if !(level > 0 && i == 0) {
+			if len(key) == 0 {
+				return fmt.Errorf("page %d slot %d: empty key", id, i)
+			}
+			if prevKey != nil && bytes.Compare(prevKey, key) >= 0 {
+				return fmt.Errorf("page %d slot %d: key order violated", id, i)
+			}
+			if lower != nil && bytes.Compare(key, lower) < 0 {
+				return fmt.Errorf("page %d slot %d: key below subtree lower bound", id, i)
+			}
+			if upper != nil && bytes.Compare(key, upper) >= 0 {
+				return fmt.Errorf("page %d slot %d: key above subtree upper bound", id, i)
+			}
+			prevKey = append([]byte(nil), key...)
+		}
+
+		if level == 0 {
+			if schema != nil {
+				report.Records++
+			} else {
+				report.SystemRecords++
+			}
+			if *last != nil && bytes.Compare(*last, key) >= 0 {
+				return fmt.Errorf("page %d slot %d: cross-page key order violated", id, i)
+			}
+			*last = append([]byte(nil), key...)
+			if schema != nil {
+				r, err := row.Decode(val)
+				if err != nil {
+					return fmt.Errorf("page %d slot %d: undecodable row: %w", id, i, err)
+				}
+				if err := r.CheckAgainst(schema); err != nil {
+					return fmt.Errorf("page %d slot %d: %w", id, i, err)
+				}
+			}
+		} else {
+			if len(rec) < 6 {
+				return fmt.Errorf("page %d slot %d: short internal record", id, i)
+			}
+			childLower := key
+			if i == 0 {
+				childLower = lower
+			} else {
+				childLower = append([]byte(nil), key...)
+			}
+			var childUpper []byte
+			if i+1 < n {
+				childUpper = append([]byte(nil), recKeyForCheck(p, i+1)...)
+			} else {
+				childUpper = upper
+			}
+			children = append(children, childRef{
+				id:    childIDForCheck(p, i),
+				lower: childLower,
+				upper: childUpper,
+			})
+		}
+	}
+	for _, c := range children {
+		if err := checkNode(tx, owner, c.id, level-1, c.lower, c.upper, last, schema, seen, report); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func recKeyForCheck(p *page.Page, slot int) []byte {
+	key, _ := btree.DecodeLeafRec(p.MustGet(slot))
+	return key
+}
+
+func childIDForCheck(p *page.Page, slot int) page.ID {
+	rec := p.MustGet(slot)
+	key, rest := btree.DecodeLeafRec(rec)
+	_ = key
+	if len(rest) != 4 {
+		return page.InvalidID
+	}
+	return page.ID(uint32(rest[0]) | uint32(rest[1])<<8 | uint32(rest[2])<<16 | uint32(rest[3])<<24)
+}
+
+func checkAllocated(tx *Txn, id page.ID) error {
+	mapID := alloc.MapPageFor(id)
+	mh, err := tx.db.pool.Fetch(mapID, false)
+	if err != nil {
+		return fmt.Errorf("alloc map for page %d: %w", id, err)
+	}
+	defer mh.Release()
+	allocated, ever, err := alloc.ReadState(mh.Page(), id)
+	if err != nil {
+		return err
+	}
+	if !allocated || !ever {
+		return fmt.Errorf("page %d in use but allocation map says allocated=%v ever=%v", id, allocated, ever)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/row"
+)
+
+func TestCheckConsistencyOnHealthyDB(t *testing.T) {
+	db := openTestDB(t, Options{})
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateTable(testSchema("a")) })
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateTable(testSchema("b")) })
+	mustExec(t, db, func(tx *Txn) error {
+		for i := 0; i < 2000; i++ {
+			if err := tx.Insert("a", testRow(i, strings.Repeat("x", 100), i)); err != nil {
+				return err
+			}
+			if i%3 == 0 {
+				if err := tx.Insert("b", testRow(i, "b-row", i)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	report, err := db.CheckConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Tables != 2 {
+		t.Fatalf("report: %+v", report)
+	}
+	if report.Records != 2000+667 {
+		t.Fatalf("records = %d, want %d", report.Records, 2000+667)
+	}
+	if report.Pages < 10 {
+		t.Fatalf("pages = %d, too few for this volume", report.Pages)
+	}
+}
+
+func TestCheckConsistencyAfterChurnAndRollback(t *testing.T) {
+	db := openTestDB(t, Options{PageImageEvery: 25})
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateTable(testSchema("t")) })
+	for round := 0; round < 5; round++ {
+		mustExec(t, db, func(tx *Txn) error {
+			for i := 0; i < 300; i++ {
+				id := round*1000 + i
+				if err := tx.Insert("t", testRow(id, "churn", i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		// Delete some, update some, roll a batch back.
+		mustExec(t, db, func(tx *Txn) error {
+			for i := 0; i < 300; i += 3 {
+				if err := tx.Delete("t", row.Row{row.Int64(int64(round*1000 + i))}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		tx, _ := db.Begin()
+		for i := 1; i < 300; i += 3 {
+			if err := tx.Update("t", testRow(round*1000+i, "doomed", 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckConsistencyAfterCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateTable(testSchema("t")) })
+	mustExec(t, db, func(tx *Txn) error {
+		for i := 0; i < 800; i++ {
+			if err := tx.Insert("t", testRow(i, "pre-crash", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	// Leave a transaction in flight and crash.
+	inflight, _ := db.Begin()
+	for i := 800; i < 900; i++ {
+		if err := inflight.Insert("t", testRow(i, "inflight", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Crash()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	report, err := db2.CheckConsistency()
+	if err != nil {
+		t.Fatalf("inconsistent after recovery: %v", err)
+	}
+	if report.Records != 800 {
+		t.Fatalf("records = %d, want 800", report.Records)
+	}
+}
+
+func TestCheckConsistencyDetectsCorruption(t *testing.T) {
+	db := openTestDB(t, Options{})
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateTable(testSchema("t")) })
+	mustExec(t, db, func(tx *Txn) error {
+		for i := 0; i < 50; i++ {
+			if err := tx.Insert("t", testRow(i, "v", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	// Corrupt in-memory: swap two records on the root leaf to break order.
+	tx, _ := db.Begin()
+	tbl, err := tx.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := db.pool.Fetch(tbl.Root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := h.Page()
+	r0 := append([]byte(nil), p.MustGet(0)...)
+	r1 := append([]byte(nil), p.MustGet(1)...)
+	if err := p.UpdateAt(0, r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UpdateAt(1, r0); err != nil {
+		t.Fatal(err)
+	}
+	h.MarkDirty()
+	h.Release()
+	tx.Rollback()
+
+	if _, err := db.CheckConsistency(); err == nil {
+		t.Fatal("corrupted key order not detected")
+	} else if !strings.Contains(err.Error(), "order") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCheckConsistencyLargeMixedWorkload(t *testing.T) {
+	db := openTestDB(t, Options{BufferFrames: 128}) // force eviction traffic
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateTable(testSchema("t")) })
+	for b := 0; b < 10; b++ {
+		mustExec(t, db, func(tx *Txn) error {
+			for i := 0; i < 200; i++ {
+				if err := tx.Insert("t", testRow(b*200+i, fmt.Sprintf("batch-%d", b), i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if b%3 == 0 {
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	report, err := db.CheckConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Records != 2000 {
+		t.Fatalf("records = %d", report.Records)
+	}
+}

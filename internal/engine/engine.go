@@ -1,0 +1,443 @@
+// Package engine ties the substrates into the database engine of §2: a
+// single-database storage engine with ARIES-style logging and recovery,
+// multi-granularity locking, a relational catalog, and the §4.2 log
+// extensions (preformat records, undo-carrying CLRs and SMO deletes, and
+// optional periodic full page images) that enable transaction-log-based
+// point-in-time queries.
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/disk"
+	"repro/internal/storage/media"
+	"repro/internal/storage/page"
+	"repro/internal/txn"
+	"repro/internal/wal"
+
+	"repro/internal/catalog"
+)
+
+// Options configures a database.
+type Options struct {
+	// DataDevice and LogDevice are the simulated media charged for data and
+	// log I/O. Nil means uncharged (RAM-speed).
+	DataDevice *media.Device
+	LogDevice  *media.Device
+	// BufferFrames sizes the buffer pool (default 512 pages = 4 MiB).
+	BufferFrames int
+	// PageImageEvery logs a full page image every Nth modification of a
+	// page (§6.1); 0 disables image logging. This is the N swept by
+	// Figures 5 and 6.
+	PageImageEvery int
+	// Retention is how far back as-of snapshots may reach (§4.3,
+	// ALTER DATABASE ... SET UNDO_INTERVAL). Default 24h.
+	Retention time.Duration
+	// LockTimeout bounds lock waits. Default 10s.
+	LockTimeout time.Duration
+	// Now supplies wall-clock time; experiments install a virtual clock so
+	// "N minutes back" is deterministic. Default time.Now.
+	Now func() time.Time
+	// CheckpointEvery, if positive, makes the engine take a checkpoint
+	// after that much log has been generated since the last one
+	// (approximating the paper's target recovery interval).
+	CheckpointEvery int64
+
+	// Ablation switches (see DESIGN.md).
+	//
+	// DisableCLRUndoInfo strips undo information from CLRs, reverting §4.2
+	// extension 2. As-of queries crossing a rolled-back transaction fail.
+	DisableCLRUndoInfo bool
+	// DisablePreformat skips preformat records on re-allocation, reverting
+	// §4.2 extension 1. As-of queries across a page re-allocation fail.
+	DisablePreformat bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.BufferFrames <= 0 {
+		out.BufferFrames = 512
+	}
+	if out.Retention <= 0 {
+		out.Retention = 24 * time.Hour
+	}
+	if out.LockTimeout <= 0 {
+		out.LockTimeout = 10 * time.Second
+	}
+	if out.Now == nil {
+		out.Now = time.Now
+	}
+	return out
+}
+
+// DB is an open database.
+type DB struct {
+	opts Options
+	dir  string
+
+	data *disk.File
+	log  *wal.Manager
+	pool *buffer.Pool
+
+	locks *txn.LockManager
+
+	mu         sync.Mutex // guards txns, boot, treeLocks, ckpt bookkeeping
+	txns       map[uint64]*Txn
+	treeLocks  map[page.ID]*sync.RWMutex
+	boot       bootBlock
+	lastCkptAt wal.LSN // log size when the last auto checkpoint ran
+	ckptIndex  []CkptMark
+
+	allocMu   sync.Mutex // serializes page allocation
+	allocHint map[uint32]uint32
+
+	idxMu    sync.RWMutex // guards idxCache
+	idxCache map[uint32][]catalog.Index
+
+	nextTxnID atomic.Uint64
+	closed    atomic.Bool
+
+	// CheckpointCount counts checkpoints taken (introspection for tests).
+	CheckpointCount atomic.Int64
+}
+
+// bootBlock is the content of page 0, written directly (outside the WAL):
+// it only changes at creation time and at checkpoints, and recovery only
+// needs it as a starting hint.
+type bootBlock struct {
+	roots       catalog.Roots
+	lastCkptEnd wal.LSN
+	createdAt   int64
+}
+
+const bootMagic = "ASOFDB\x01\x00"
+
+// Open opens the database in dir, creating it if absent, and runs crash
+// recovery if needed.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: mkdir: %w", err)
+	}
+	data, err := disk.Open(filepath.Join(dir, "data.db"), opts.DataDevice)
+	if err != nil {
+		return nil, err
+	}
+	logm, err := wal.Open(filepath.Join(dir, "wal.log"), opts.LogDevice)
+	if err != nil {
+		data.Close()
+		return nil, err
+	}
+	db := &DB{
+		opts:      opts,
+		dir:       dir,
+		data:      data,
+		log:       logm,
+		locks:     txn.NewLockManager(opts.LockTimeout),
+		txns:      make(map[uint64]*Txn),
+		treeLocks: make(map[page.ID]*sync.RWMutex),
+		allocHint: make(map[uint32]uint32),
+		idxCache:  make(map[uint32][]catalog.Index),
+	}
+	db.pool = buffer.New(buffer.Config{
+		Frames:    opts.BufferFrames,
+		Source:    data,
+		FlushLog:  func(pageLSN uint64) error { return logm.Flush(wal.LSN(pageLSN)) },
+		Checksums: true,
+	})
+	db.nextTxnID.Store(1)
+
+	if data.PageCount() == 0 {
+		if err := db.create(); err != nil {
+			db.closeFiles()
+			return nil, err
+		}
+		return db, nil
+	}
+	if err := db.readBoot(); err != nil {
+		db.closeFiles()
+		return nil, err
+	}
+	if err := db.rebuildCkptIndex(); err != nil {
+		db.closeFiles()
+		return nil, fmt.Errorf("engine: checkpoint index: %w", err)
+	}
+	if err := db.recover(); err != nil {
+		db.closeFiles()
+		return nil, fmt.Errorf("engine: recovery: %w", err)
+	}
+	return db, nil
+}
+
+// create formats a fresh database: boot page, first allocation map, and the
+// bootstrap system transaction that builds the catalog trees.
+func (db *DB) create() error {
+	if err := db.data.Ensure(2); err != nil {
+		return err
+	}
+	// Format the first allocation map page through the pool so it is part
+	// of normal page management. Its format is logged under the bootstrap
+	// transaction via the Alloc-free path below? No: map pages are
+	// infrastructure — formatted directly; their log chains begin with the
+	// first AllocBits record.
+	mh, err := db.pool.NewPage(alloc.FirstMapPage)
+	if err != nil {
+		return err
+	}
+	mh.Page().Format(alloc.FirstMapPage, page.TypeAllocMap, 0)
+	mh.MarkDirty()
+	mh.Release()
+
+	tx, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	roots, err := catalog.Bootstrap(tx)
+	if err != nil {
+		tx.Rollback()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.boot = bootBlock{roots: roots, createdAt: db.opts.Now().UnixNano()}
+	db.mu.Unlock()
+	if err := db.writeBoot(); err != nil {
+		return err
+	}
+	return db.Checkpoint()
+}
+
+func (db *DB) closeFiles() {
+	db.log.Close()
+	db.data.Close()
+}
+
+// Close checkpoints and closes the database.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	if err := db.log.Close(); err != nil {
+		return err
+	}
+	return db.data.Close()
+}
+
+// Crash abandons the database without flushing anything — the unflushed WAL
+// tail and dirty pages are lost, exactly like a power failure. The files
+// remain on disk for a subsequent Open to recover. For tests and the
+// recovery experiments.
+func (db *DB) Crash() {
+	db.closed.Store(true)
+	// Intentionally do not flush or close; reopening uses the same paths.
+}
+
+// --- boot page ---
+
+const bootPayload = 64 // offset of the boot block within page 0
+
+func (db *DB) writeBoot() error {
+	p := page.New()
+	p.Format(alloc.BootPage, page.TypeBoot, 0)
+	b := p.Bytes()[bootPayload:]
+	copy(b, bootMagic)
+	db.mu.Lock()
+	binary.LittleEndian.PutUint32(b[8:], uint32(db.boot.roots.Tables))
+	binary.LittleEndian.PutUint32(b[12:], uint32(db.boot.roots.Names))
+	binary.LittleEndian.PutUint32(b[16:], uint32(db.boot.roots.Columns))
+	binary.LittleEndian.PutUint64(b[24:], uint64(db.boot.lastCkptEnd))
+	binary.LittleEndian.PutUint64(b[32:], uint64(db.boot.createdAt))
+	db.mu.Unlock()
+	p.WriteChecksum()
+	return db.data.WritePage(alloc.BootPage, p.Bytes())
+}
+
+func (db *DB) readBoot() error {
+	buf := make([]byte, page.Size)
+	if err := db.data.ReadPage(alloc.BootPage, buf); err != nil {
+		return err
+	}
+	p := page.FromBytes(buf)
+	if err := p.VerifyChecksum(); err != nil {
+		return fmt.Errorf("engine: boot page: %w", err)
+	}
+	b := buf[bootPayload:]
+	if string(b[:8]) != bootMagic {
+		return errors.New("engine: bad boot magic")
+	}
+	db.mu.Lock()
+	db.boot.roots = catalog.Roots{
+		Tables:  page.ID(binary.LittleEndian.Uint32(b[8:])),
+		Names:   page.ID(binary.LittleEndian.Uint32(b[12:])),
+		Columns: page.ID(binary.LittleEndian.Uint32(b[16:])),
+	}
+	db.boot.lastCkptEnd = wal.LSN(binary.LittleEndian.Uint64(b[24:]))
+	db.boot.createdAt = int64(binary.LittleEndian.Uint64(b[32:]))
+	db.mu.Unlock()
+	if !db.boot.roots.Valid() {
+		return errors.New("engine: boot page has invalid catalog roots")
+	}
+	return nil
+}
+
+// DecodeBootRoots extracts the catalog roots from a raw boot page image.
+// Used by the backup package when opening a restored copy without a full
+// engine instance.
+func DecodeBootRoots(buf []byte) (catalog.Roots, error) {
+	if len(buf) != page.Size {
+		return catalog.Roots{}, fmt.Errorf("engine: boot image is %d bytes", len(buf))
+	}
+	b := buf[bootPayload:]
+	if string(b[:8]) != bootMagic {
+		return catalog.Roots{}, errors.New("engine: bad boot magic")
+	}
+	roots := catalog.Roots{
+		Tables:  page.ID(binary.LittleEndian.Uint32(b[8:])),
+		Names:   page.ID(binary.LittleEndian.Uint32(b[12:])),
+		Columns: page.ID(binary.LittleEndian.Uint32(b[16:])),
+	}
+	if !roots.Valid() {
+		return catalog.Roots{}, errors.New("engine: boot page has invalid catalog roots")
+	}
+	return roots, nil
+}
+
+// --- accessors used by the asof and backup packages ---
+
+// Log exposes the WAL manager (read access for as-of machinery).
+func (db *DB) Log() *wal.Manager { return db.log }
+
+// Pool exposes the buffer pool (latched page copies for snapshots).
+func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// Data exposes the data file (sequential reads for backups).
+func (db *DB) Data() *disk.File { return db.data }
+
+// Roots returns the catalog roots.
+func (db *DB) Roots() catalog.Roots {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.boot.roots
+}
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Retention returns the configured undo interval (§4.3).
+func (db *DB) Retention() time.Duration { return db.opts.Retention }
+
+// SetRetention adjusts the undo interval at runtime
+// (ALTER DATABASE ... SET UNDO_INTERVAL in the paper).
+func (db *DB) SetRetention(d time.Duration) {
+	db.mu.Lock()
+	db.opts.Retention = d
+	db.mu.Unlock()
+}
+
+// Now returns the engine's current wall-clock time.
+func (db *DB) Now() time.Time { return db.opts.Now() }
+
+// LastCheckpointEnd returns the LSN of the most recent checkpoint-end
+// record (the §5.1 SplitLSN search starts here).
+func (db *DB) LastCheckpointEnd() wal.LSN {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.boot.lastCkptEnd
+}
+
+// CkptMark is one entry of the in-memory checkpoint index: the wall-clock
+// time and begin/end LSNs of a completed checkpoint. The index is what lets
+// the SplitLSN search (§5.1) narrow the log region without reading
+// checkpoint records back from disk; it is rebuilt from the on-disk
+// checkpoint chain when the database opens.
+type CkptMark struct {
+	WallClock int64
+	Begin     wal.LSN
+	End       wal.LSN
+}
+
+// CheckpointIndex returns the checkpoint marks in LSN order (oldest first).
+func (db *DB) CheckpointIndex() []CkptMark {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]CkptMark, len(db.ckptIndex))
+	copy(out, db.ckptIndex)
+	return out
+}
+
+// rebuildCkptIndex walks the on-disk checkpoint chain backwards once at
+// open time and materializes the in-memory index.
+func (db *DB) rebuildCkptIndex() error {
+	var marks []CkptMark
+	cur := db.LastCheckpointEnd()
+	for cur != wal.NilLSN {
+		rec, err := db.log.Read(cur)
+		if err != nil {
+			if errors.Is(err, wal.ErrTruncated) {
+				break
+			}
+			return err
+		}
+		data, err := wal.DecodeCheckpoint(rec.Extra)
+		if err != nil {
+			return err
+		}
+		marks = append(marks, CkptMark{WallClock: rec.WallClock, Begin: data.BeginLSN, End: rec.LSN})
+		cur = data.PrevEnd
+	}
+	// Reverse into LSN order.
+	for i, j := 0, len(marks)-1; i < j; i, j = i+1, j-1 {
+		marks[i], marks[j] = marks[j], marks[i]
+	}
+	db.mu.Lock()
+	db.ckptIndex = marks
+	db.mu.Unlock()
+	return nil
+}
+
+// CreatedAt returns the database creation time.
+func (db *DB) CreatedAt() time.Time {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return time.Unix(0, db.boot.createdAt)
+}
+
+// treeLock returns the shared tree-level lock for a root.
+func (db *DB) treeLock(root page.ID) *sync.RWMutex {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	l, ok := db.treeLocks[root]
+	if !ok {
+		l = &sync.RWMutex{}
+		db.treeLocks[root] = l
+	}
+	return l
+}
+
+// ActiveTxns returns a snapshot of transactions that have logged anything,
+// as checkpoint ATT entries.
+func (db *DB) activeATT() []wal.ATTEntry {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []wal.ATTEntry
+	for _, t := range db.txns {
+		if t.begun && t.state == txnActive {
+			out = append(out, wal.ATTEntry{TxnID: t.id, LastLSN: t.lastLSN, BeginLSN: t.beginLSN})
+		}
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/row"
+	"repro/internal/txn"
+)
+
+// Secondary indexes: additional B-Trees mapping
+// (indexed columns..., primary key...) -> encoded primary key.
+// Entries are ordinary rows on ordinary pages, logged like any other
+// modification, so indexes rewind under as-of snapshots with zero extra
+// machinery (§7.2: "all the on-disk data structures ... use data pages as
+// the unit of allocation and logging").
+
+// CreateIndex creates and backfills a secondary index on the named columns.
+func (tx *Txn) CreateIndex(idxName, table string, columns ...string) error {
+	if err := tx.db.locks.Lock(tx.id, txn.Key{Object: ddlObject}, txn.Exclusive); err != nil {
+		return err
+	}
+	t, err := tx.Table(table)
+	if err != nil {
+		return err
+	}
+	tx.didDDL = true
+	var cols []int
+	for _, c := range columns {
+		i := t.Schema.ColumnIndex(c)
+		if i < 0 {
+			return fmt.Errorf("engine: index %q: no column %q in %s", idxName, c, table)
+		}
+		cols = append(cols, i)
+	}
+	roots := tx.db.Roots()
+	maxID, err := catalog.MaxObjectID(tx, roots)
+	if err != nil {
+		return err
+	}
+	id := maxID + 1
+	if id < 10 {
+		id = 10
+	}
+	root, err := btree.Create(tx)
+	if err != nil {
+		return err
+	}
+	ix := catalog.Index{ID: id, Name: idxName, Root: root, TableID: t.ID, Cols: cols}
+	if err := catalog.CreateIndex(tx, roots, ix); err != nil {
+		return err
+	}
+	// Backfill under a table-level shared lock.
+	if err := tx.db.locks.Lock(tx.id, txn.Key{Object: t.ID}, txn.Shared); err != nil {
+		return err
+	}
+	var inner error
+	err = btree.Scan(tx, t.Root, nil, nil, func(_, val []byte) bool {
+		r, err := row.Decode(val)
+		if err != nil {
+			inner = err
+			return false
+		}
+		if inner = tx.indexInsert(ix, t.Schema, r); inner != nil {
+			return false
+		}
+		return true
+	})
+	if err == nil {
+		err = inner
+	}
+	return err
+}
+
+// DropIndex removes a secondary index and frees its pages.
+func (tx *Txn) DropIndex(idxName string) error {
+	if err := tx.db.locks.Lock(tx.id, txn.Key{Object: ddlObject}, txn.Exclusive); err != nil {
+		return err
+	}
+	tx.didDDL = true
+	ix, err := catalog.DropIndex(tx, tx.db.Roots(), idxName)
+	if err != nil {
+		return err
+	}
+	return btree.Drop(tx, ix.Root)
+}
+
+// Indexes lists the secondary indexes of a table.
+func (tx *Txn) Indexes(table string) ([]catalog.Index, error) {
+	t, err := tx.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return catalog.IndexesOf(tx, tx.db.Roots(), t.ID)
+}
+
+// indexEntryKey builds the index entry key: indexed values then the
+// primary key (for uniqueness among duplicate indexed values).
+func indexEntryKey(ix catalog.Index, schema *row.Schema, r row.Row) []byte {
+	vals := make(row.Row, 0, len(ix.Cols)+schema.KeyCols)
+	for _, c := range ix.Cols {
+		vals = append(vals, r[c])
+	}
+	vals = append(vals, r.Key(schema)...)
+	return row.EncodeKey(vals)
+}
+
+func (tx *Txn) indexInsert(ix catalog.Index, schema *row.Schema, r row.Row) error {
+	pk := row.Encode(r.Key(schema))
+	return btree.Insert(tx, ix.Root, indexEntryKey(ix, schema, r), pk)
+}
+
+func (tx *Txn) indexDelete(ix catalog.Index, schema *row.Schema, r row.Row) error {
+	_, err := btree.Delete(tx, ix.Root, indexEntryKey(ix, schema, r))
+	return err
+}
+
+// ScanIndex iterates rows of the index's table whose indexed columns equal
+// vals (an equality prefix — fewer values than indexed columns select a
+// wider range), in index order.
+func (tx *Txn) ScanIndex(idxName string, vals row.Row, fn func(row.Row) bool) error {
+	ix, err := catalog.LookupIndex(tx, tx.db.Roots(), idxName)
+	if err != nil {
+		return err
+	}
+	t, err := catalog.LookupByID(tx, tx.db.Roots(), ix.TableID)
+	if err != nil {
+		return err
+	}
+	if err := tx.db.locks.Lock(tx.id, txn.Key{Object: t.ID}, txn.Shared); err != nil {
+		return err
+	}
+	prefix := row.EncodeKey(vals)
+	upper := row.PrefixSuccessor(prefix)
+	var inner error
+	err = btree.Scan(tx, ix.Root, prefix, upper, func(_, pkEnc []byte) bool {
+		pk, err := row.Decode(pkEnc)
+		if err != nil {
+			inner = err
+			return false
+		}
+		r, ok, err := tx.Get(t.Name, pk)
+		if err != nil {
+			inner = err
+			return false
+		}
+		if !ok {
+			inner = fmt.Errorf("engine: index %q dangling entry for pk %v", idxName, pk)
+			return false
+		}
+		return fn(r)
+	})
+	if err == nil {
+		err = inner
+	}
+	return err
+}
+
+// --- index cache ---
+
+// indexesOf returns the table's indexes, served from the engine cache.
+// Transactions that performed DDL read through uncached (they must see
+// their own uncommitted catalog changes without polluting the cache).
+func (tx *Txn) indexesOf(t catalog.Table) ([]catalog.Index, error) {
+	if tx.didDDL {
+		return catalog.IndexesOf(tx, tx.db.Roots(), t.ID)
+	}
+	db := tx.db
+	db.idxMu.RLock()
+	cached, ok := db.idxCache[t.ID]
+	db.idxMu.RUnlock()
+	if ok {
+		return cached, nil
+	}
+	indexes, err := catalog.IndexesOf(tx, db.Roots(), t.ID)
+	if err != nil {
+		return nil, err
+	}
+	db.idxMu.Lock()
+	db.idxCache[t.ID] = indexes
+	db.idxMu.Unlock()
+	return indexes, nil
+}
+
+// tableHasIndexes reports whether index maintenance is needed for t.
+func (tx *Txn) tableHasIndexes(t catalog.Table) bool {
+	indexes, err := tx.indexesOf(t)
+	return err == nil && len(indexes) > 0
+}
+
+// maintainIndexesCached applies index maintenance using the cached list.
+func (tx *Txn) maintainIndexesCached(t catalog.Table, oldRow, newRow row.Row) error {
+	indexes, err := tx.indexesOf(t)
+	if err != nil {
+		return err
+	}
+	if len(indexes) == 0 {
+		return nil
+	}
+	return tx.maintainIndexList(indexes, t.Schema, oldRow, newRow)
+}
+
+func (tx *Txn) maintainIndexList(indexes []catalog.Index, schema *row.Schema, oldRow, newRow row.Row) error {
+	for _, ix := range indexes {
+		var oldKey, newKey []byte
+		if oldRow != nil {
+			oldKey = indexEntryKey(ix, schema, oldRow)
+		}
+		if newRow != nil {
+			newKey = indexEntryKey(ix, schema, newRow)
+		}
+		switch {
+		case oldRow == nil:
+			if err := tx.indexInsert(ix, schema, newRow); err != nil {
+				return err
+			}
+		case newRow == nil:
+			if err := tx.indexDelete(ix, schema, oldRow); err != nil {
+				return err
+			}
+		case string(oldKey) != string(newKey):
+			if err := tx.indexDelete(ix, schema, oldRow); err != nil {
+				return err
+			}
+			if err := tx.indexInsert(ix, schema, newRow); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// invalidateIndexCache drops the whole cache (called when a DDL transaction
+// finishes, committed or not).
+func (db *DB) invalidateIndexCache() {
+	db.idxMu.Lock()
+	db.idxCache = make(map[uint32][]catalog.Index)
+	db.idxMu.Unlock()
+}

@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/row"
+)
+
+func TestCreateIndexBackfillsAndServes(t *testing.T) {
+	db := openTestDB(t, Options{})
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateTable(testSchema("t")) })
+	mustExec(t, db, func(tx *Txn) error {
+		for i := 0; i < 100; i++ {
+			if err := tx.Insert("t", testRow(i, fmt.Sprintf("cat-%d", i%5), i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateIndex("t_by_body", "t", "body") })
+
+	mustExec(t, db, func(tx *Txn) error {
+		var ids []int64
+		err := tx.ScanIndex("t_by_body", row.Row{row.String("cat-3")}, func(r row.Row) bool {
+			ids = append(ids, r[0].Int)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if len(ids) != 20 {
+			return fmt.Errorf("index lookup returned %d rows, want 20", len(ids))
+		}
+		for _, id := range ids {
+			if id%5 != 3 {
+				return fmt.Errorf("wrong row %d for cat-3", id)
+			}
+		}
+		return nil
+	})
+	if _, err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexMaintainedByDML(t *testing.T) {
+	db := openTestDB(t, Options{})
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateTable(testSchema("t")) })
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateIndex("by_body", "t", "body") })
+
+	mustExec(t, db, func(tx *Txn) error {
+		for i := 0; i < 20; i++ {
+			if err := tx.Insert("t", testRow(i, "red", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	// Move row 7 from red to blue, delete row 8.
+	mustExec(t, db, func(tx *Txn) error {
+		if err := tx.Update("t", testRow(7, "blue", 7)); err != nil {
+			return err
+		}
+		return tx.Delete("t", row.Row{row.Int64(8)})
+	})
+
+	count := func(val string) int {
+		n := 0
+		mustExec(t, db, func(tx *Txn) error {
+			return tx.ScanIndex("by_body", row.Row{row.String(val)}, func(row.Row) bool {
+				n++
+				return true
+			})
+		})
+		return n
+	}
+	if got := count("red"); got != 18 {
+		t.Fatalf("red = %d, want 18", got)
+	}
+	if got := count("blue"); got != 1 {
+		t.Fatalf("blue = %d, want 1", got)
+	}
+}
+
+func TestIndexRollbackConsistency(t *testing.T) {
+	db := openTestDB(t, Options{})
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateTable(testSchema("t")) })
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateIndex("by_body", "t", "body") })
+	mustExec(t, db, func(tx *Txn) error { return tx.Insert("t", testRow(1, "keep", 1)) })
+
+	tx, _ := db.Begin()
+	if err := tx.Insert("t", testRow(2, "doomed", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("t", testRow(1, "mutated", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	mustExec(t, db, func(tx *Txn) error {
+		var got []int64
+		if err := tx.ScanIndex("by_body", row.Row{row.String("keep")}, func(r row.Row) bool {
+			got = append(got, r[0].Int)
+			return true
+		}); err != nil {
+			return err
+		}
+		if len(got) != 1 || got[0] != 1 {
+			return fmt.Errorf("keep -> %v", got)
+		}
+		// Rolled-back entries are gone from the index.
+		n := 0
+		if err := tx.ScanIndex("by_body", row.Row{row.String("doomed")}, func(row.Row) bool {
+			n++
+			return true
+		}); err != nil {
+			return err
+		}
+		if n != 0 {
+			return fmt.Errorf("doomed entries survived rollback: %d", n)
+		}
+		return nil
+	})
+	if _, err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropIndexAndDropTableCascade(t *testing.T) {
+	db := openTestDB(t, Options{})
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateTable(testSchema("t")) })
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateIndex("by_body", "t", "body") })
+	mustExec(t, db, func(tx *Txn) error { return tx.Insert("t", testRow(1, "x", 1)) })
+
+	mustExec(t, db, func(tx *Txn) error { return tx.DropIndex("by_body") })
+	tx, _ := db.Begin()
+	if err := tx.ScanIndex("by_body", row.Row{row.String("x")}, func(row.Row) bool { return true }); err == nil {
+		t.Fatal("dropped index still serves")
+	}
+	tx.Rollback()
+
+	// DropTable cascades to its remaining indexes.
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateIndex("again", "t", "body") })
+	mustExec(t, db, func(tx *Txn) error { return tx.DropTable("t") })
+	tx2, _ := db.Begin()
+	if err := tx2.ScanIndex("again", row.Row{row.String("x")}, func(row.Row) bool { return true }); err == nil {
+		t.Fatal("index survived table drop")
+	}
+	tx2.Rollback()
+	if _, err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexSurvivesCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateTable(testSchema("t")) })
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateIndex("by_body", "t", "body") })
+	mustExec(t, db, func(tx *Txn) error {
+		for i := 0; i < 50; i++ {
+			if err := tx.Insert("t", testRow(i, fmt.Sprintf("g%d", i%3), i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	db.Crash()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	mustExec(t, db2, func(tx *Txn) error {
+		n := 0
+		if err := tx.ScanIndex("by_body", row.Row{row.String("g1")}, func(row.Row) bool {
+			n++
+			return true
+		}); err != nil {
+			return err
+		}
+		if n != 17 {
+			return fmt.Errorf("g1 = %d after recovery, want 17", n)
+		}
+		return nil
+	})
+	if _, err := db2.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexUnknownColumnRejected(t *testing.T) {
+	db := openTestDB(t, Options{})
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateTable(testSchema("t")) })
+	tx, _ := db.Begin()
+	defer tx.Rollback()
+	if err := tx.CreateIndex("bad", "t", "nonexistent"); err == nil {
+		t.Fatal("index on unknown column accepted")
+	}
+}
+
+func TestIndexesListing(t *testing.T) {
+	db := openTestDB(t, Options{})
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateTable(testSchema("t")) })
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateIndex("i1", "t", "body") })
+	mustExec(t, db, func(tx *Txn) error { return tx.CreateIndex("i2", "t", "qty", "body") })
+	mustExec(t, db, func(tx *Txn) error {
+		ixs, err := tx.Indexes("t")
+		if err != nil {
+			return err
+		}
+		if len(ixs) != 2 {
+			return fmt.Errorf("indexes = %d, want 2", len(ixs))
+		}
+		// Tables listing is unaffected by index rows in sys_tables.
+		tables, err := tx.Tables()
+		if err != nil {
+			return err
+		}
+		if len(tables) != 1 {
+			return fmt.Errorf("tables = %d, want 1", len(tables))
+		}
+		return nil
+	})
+}

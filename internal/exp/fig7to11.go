@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/asof"
+	"repro/internal/backup"
+	"repro/internal/tpcc"
+)
+
+// BackInTimeRow is one point of Figures 7-11: the cost of reaching the
+// database state m virtual minutes in the past by either mechanism.
+type BackInTimeRow struct {
+	MinutesBack float64
+
+	// As-of snapshot costs (Figures 7-10).
+	SnapCreate time.Duration // snapshot creation incl. recovery (Figs 9/10)
+	SnapQuery  time.Duration // stock-level query on the snapshot (Figs 9/10)
+	AsOfTotal  time.Duration // end-to-end (Figs 7/8)
+
+	// Baseline costs (Figures 7/8).
+	Restore time.Duration // full restore + log replay + query
+
+	// Figure 11: estimated undo log I/Os during the as-of query.
+	UndoIOs int64
+	// Undo work breakdown.
+	PagesPrepared int64
+	RecordsUndone int64
+	ImageRestores int64
+}
+
+// DefaultMinutesBack is the time-travel sweep for Figures 7-11.
+var DefaultMinutesBack = []float64{1, 2, 5, 10, 20, 40}
+
+// BackInTime measures, for each point of the sweep, the cost of an as-of
+// stock-level query (§6.2: snapshot creation + query against a fixed
+// district/warehouse) and of the equivalent backup restore. All I/O is
+// charged to the history's media devices; durations are virtual.
+func BackInTime(h *History, sweep []float64, w io.Writer) ([]BackInTimeRow, error) {
+	if len(sweep) == 0 {
+		sweep = DefaultMinutesBack
+	}
+	var rows []BackInTimeRow
+	rng := rand.New(rand.NewSource(99))
+	for i, m := range sweep {
+		target := h.MinutesBack(m)
+		row := BackInTimeRow{MinutesBack: m}
+		warehouse := 1 + rng.Intn(h.Cfg.Scale.Warehouses)
+		district := 1 + rng.Intn(h.Cfg.Scale.DistrictsPerW)
+
+		// --- as-of snapshot (cold log cache: each log read is a
+		// potential stall, §6.2) ---
+		h.DB.Log().InvalidateCache()
+		undoStart := h.DB.Log().UndoReads.Load()
+		t0 := h.Media.Elapsed()
+		s, err := asof.CreateSnapshot(h.DB, target, h.SideDev)
+		if err != nil {
+			return nil, fmt.Errorf("exp: snapshot %gmin back: %w", m, err)
+		}
+		t1 := h.Media.Elapsed()
+		if _, err := tpcc.StockLevel(s, warehouse, district, 15); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("exp: as-of stock level %gmin back: %w", m, err)
+		}
+		t2 := h.Media.Elapsed()
+		row.SnapCreate = t1 - t0
+		row.SnapQuery = t2 - t1
+		row.AsOfTotal = t2 - t0
+		row.UndoIOs = h.DB.Log().UndoReads.Load() - undoStart
+		row.PagesPrepared = s.Stats().PagesPrepared.Load()
+		row.RecordsUndone = s.Stats().RecordsUndone.Load()
+		row.ImageRestores = s.Stats().ImageRestores.Load()
+		if err := s.Close(); err != nil {
+			return nil, err
+		}
+
+		// --- baseline: full restore + replay + the same query ---
+		h.DB.Log().InvalidateCache()
+		r0 := h.Media.Elapsed()
+		rst, err := backup.RestoreToTime(h.Manifest, h.DB.Log(), target,
+			filepath.Join(h.Dir(), fmt.Sprintf("restore-%d.db", i)), h.BackDev)
+		if err != nil {
+			return nil, fmt.Errorf("exp: restore %gmin back: %w", m, err)
+		}
+		if _, err := tpcc.StockLevel(rst, warehouse, district, 15); err != nil {
+			rst.Close()
+			return nil, fmt.Errorf("exp: restored stock level: %w", err)
+		}
+		row.Restore = h.Media.Elapsed() - r0
+		if err := rst.Close(); err != nil {
+			return nil, err
+		}
+
+		rows = append(rows, row)
+	}
+	printBackInTime(w, h, rows)
+	return rows, nil
+}
+
+func printBackInTime(w io.Writer, h *History, rows []BackInTimeRow) {
+	if w == nil {
+		return
+	}
+	name := h.Cfg.Profile.Name
+	fig78 := "Figure 7"
+	fig910 := "Figure 9"
+	if strings.HasPrefix(name, "sas") {
+		fig78 = "Figure 8"
+		fig910 = "Figure 10"
+	}
+	fmt.Fprintf(w, "\n%s — restore vs as-of query on %s (virtual seconds, end-to-end)\n", fig78, name)
+	fmt.Fprintf(w, "%s — snapshot creation vs query on %s\n", fig910, name)
+	fmt.Fprintln(w, "Figure 11 — estimated undo log I/Os")
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%g min", r.MinutesBack),
+			secs(r.AsOfTotal),
+			secs(r.Restore),
+			fmt.Sprintf("%.1fx", r.Restore.Seconds()/r.AsOfTotal.Seconds()),
+			secs(r.SnapCreate),
+			secs(r.SnapQuery),
+			fmt.Sprintf("%d", r.UndoIOs),
+			fmt.Sprintf("%d", r.RecordsUndone),
+		})
+	}
+	table(w, []string{"back", "as-of total", "restore", "restore/as-of",
+		"snap create", "snap query", "undo IOs", "recs undone"}, out)
+}

@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"repro/internal/asof"
+	"repro/internal/backup"
+	"repro/internal/row"
+	"repro/internal/tpcc"
+)
+
+// CrossoverRow is one point of the §6.4 analysis: the cost of reaching past
+// data by rewinding (as-of) versus rolling forward (restore) as a function
+// of how much of the database the query touches.
+type CrossoverRow struct {
+	Fraction float64 // fraction of the stock table scanned
+	AsOf     time.Duration
+	Restore  time.Duration
+	Winner   string
+}
+
+// Crossover reproduces §6.4: as-of cost grows with the data accessed (pages
+// touched x modifications to them) while restore cost is flat, so a
+// crossover exists. It scans increasing fractions of the stock table (all
+// warehouses) as of the oldest point in the history — the "large amount of
+// data accessed" + "significant number of modifications" corner the paper
+// identifies — by both mechanisms.
+func Crossover(h *History, fractions []float64, w io.Writer) ([]CrossoverRow, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.01, 0.05, 0.25, 0.5, 1.0}
+	}
+	target := h.MinutesBack(45)
+	maxItem := int64(h.Cfg.Scale.Items)
+
+	// The restore is paid once; reading more of it costs (almost) nothing
+	// extra — that flatness is the crossover's other side.
+	h.DB.Log().InvalidateCache()
+	r0 := h.Media.Elapsed()
+	rst, err := backup.RestoreToTime(h.Manifest, h.DB.Log(), target,
+		filepath.Join(h.Dir(), "crossover-restore.db"), h.BackDev)
+	if err != nil {
+		return nil, err
+	}
+	defer rst.Close()
+	restoreCost := h.Media.Elapsed() - r0
+
+	scanFraction := func(q interface {
+		Scan(table string, from, to row.Row, fn func(row.Row) bool) error
+	}, f float64) error {
+		to := int64(float64(maxItem)*f) + 1
+		for wh := 1; wh <= h.Cfg.Scale.Warehouses; wh++ {
+			fromKey := row.Row{row.Int64(int64(wh)), row.Int64(0)}
+			toKey := row.Row{row.Int64(int64(wh)), row.Int64(to)}
+			if err := q.Scan(tpcc.TableStock, fromKey, toKey, func(row.Row) bool { return true }); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var rows []CrossoverRow
+	for _, f := range fractions {
+		// As-of scan of the fraction (fresh snapshot each time: pages are
+		// materialized per snapshot, so cost scales with data accessed).
+		h.DB.Log().InvalidateCache()
+		a0 := h.Media.Elapsed()
+		s, err := asof.CreateSnapshot(h.DB, target, h.SideDev)
+		if err != nil {
+			return nil, err
+		}
+		if err := scanFraction(s, f); err != nil {
+			s.Close()
+			return nil, err
+		}
+		asofCost := h.Media.Elapsed() - a0
+		s.Close()
+
+		// Restore side: the flat restore plus the (cheap) scan.
+		rr0 := h.Media.Elapsed()
+		if err := scanFraction(rst, f); err != nil {
+			return nil, err
+		}
+		restoreScan := h.Media.Elapsed() - rr0
+
+		winner := "as-of"
+		if restoreCost+restoreScan < asofCost {
+			winner = "restore"
+		}
+		rows = append(rows, CrossoverRow{
+			Fraction: f,
+			AsOf:     asofCost,
+			Restore:  restoreCost + restoreScan,
+			Winner:   winner,
+		})
+	}
+	if w != nil {
+		fmt.Fprintln(w, "\n§6.4 — crossover: rewind (as-of) vs roll-forward (restore) by data accessed")
+		var out [][]string
+		for _, r := range rows {
+			out = append(out, []string{
+				fmt.Sprintf("%.0f%%", r.Fraction*100),
+				secs(r.AsOf), secs(r.Restore), r.Winner,
+			})
+		}
+		table(w, []string{"of stock table", "as-of", "restore", "faster"}, out)
+	}
+	return rows, nil
+}

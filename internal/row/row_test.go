@@ -1,0 +1,254 @@
+package row
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleSchema() *Schema {
+	return &Schema{
+		Name: "t",
+		Columns: []Column{
+			{Name: "id", Kind: KindInt64},
+			{Name: "name", Kind: KindString},
+			{Name: "score", Kind: KindFloat64},
+			{Name: "blob", Kind: KindBytes},
+			{Name: "ok", Kind: KindBool},
+			{Name: "at", Kind: KindTime},
+		},
+		KeyCols: 1,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := Row{
+		Int64(-42),
+		String("héllo"),
+		Float64(3.14),
+		BytesVal([]byte{0, 1, 2}),
+		Bool(true),
+		Time(time.Unix(123, 456)),
+	}
+	got, err := Decode(Encode(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(r) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(r))
+	}
+	if got[0].Int != -42 || got[1].Str != "héllo" || got[2].Float != 3.14 {
+		t.Fatalf("mismatch: %v", got)
+	}
+	if !bytes.Equal(got[3].Bytes, []byte{0, 1, 2}) || !got[4].Bool {
+		t.Fatalf("mismatch: %v", got)
+	}
+	if !got[5].Time.Equal(time.Unix(123, 456)) {
+		t.Fatalf("time mismatch: %v", got[5].Time)
+	}
+}
+
+func TestNullRoundTrip(t *testing.T) {
+	r := Row{Int64(1), Null(KindString), Null(KindFloat64)}
+	got, err := Decode(Encode(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[1].IsNull || got[1].Kind != KindString {
+		t.Fatalf("null string lost: %+v", got[1])
+	}
+	if !got[2].IsNull || got[2].Kind != KindFloat64 {
+		t.Fatalf("null float lost: %+v", got[2])
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte{byte(KindInt64), 1, 2}); err == nil {
+		t.Error("truncated int should fail")
+	}
+	if _, err := Decode([]byte{0x7F}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := Decode([]byte{byte(KindString), 255, 255, 255, 255}); err == nil {
+		t.Error("oversized string length should fail")
+	}
+}
+
+func TestQuickRowRoundTrip(t *testing.T) {
+	f := func(i int64, s string, fl float64, b []byte, ok bool, ns int64) bool {
+		if math.IsNaN(fl) {
+			fl = 0
+		}
+		r := Row{Int64(i), String(s), Float64(fl), BytesVal(b), Bool(ok), Time(time.Unix(0, ns))}
+		got, err := Decode(Encode(r))
+		if err != nil {
+			return false
+		}
+		return got[0].Int == i && got[1].Str == s && got[2].Float == fl &&
+			bytes.Equal(got[3].Bytes, b) && got[4].Bool == ok && got[5].Time.UnixNano() == ns
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyEncodingOrdersInts(t *testing.T) {
+	vals := []int64{math.MinInt64, -1000000, -1, 0, 1, 42, math.MaxInt64}
+	var prev []byte
+	for i, v := range vals {
+		enc := EncodeKey(Row{Int64(v)})
+		if i > 0 && bytes.Compare(prev, enc) >= 0 {
+			t.Fatalf("key order broken at %d (%d)", i, v)
+		}
+		prev = enc
+	}
+}
+
+func TestKeyEncodingOrdersFloats(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -1.5, -0.0001, 0, 0.0001, 1.5, 1e300, math.Inf(1)}
+	var prev []byte
+	for i, v := range vals {
+		enc := EncodeKey(Row{Float64(v)})
+		if i > 0 && bytes.Compare(prev, enc) >= 0 {
+			t.Fatalf("float key order broken at %d (%g)", i, v)
+		}
+		prev = enc
+	}
+}
+
+func TestKeyEncodingOrdersStringsWithZeros(t *testing.T) {
+	vals := []string{"", "a", "a\x00", "a\x00b", "a\x01", "ab", "b"}
+	var prev []byte
+	for i, v := range vals {
+		enc := EncodeKey(Row{String(v)})
+		if i > 0 && bytes.Compare(prev, enc) >= 0 {
+			t.Fatalf("string key order broken at %d (%q)", i, v)
+		}
+		prev = enc
+	}
+}
+
+func TestKeyEncodingCompositePrefixSafety(t *testing.T) {
+	// ("a", 2) must order before ("ab", 1): field boundary beats content.
+	k1 := EncodeKey(Row{String("a"), Int64(2)})
+	k2 := EncodeKey(Row{String("ab"), Int64(1)})
+	if bytes.Compare(k1, k2) >= 0 {
+		t.Fatal("composite ordering broken: field boundary not respected")
+	}
+}
+
+func TestQuickKeyOrderMatchesIntOrder(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := EncodeKey(Row{Int64(a)})
+		kb := EncodeKey(Row{Int64(b)})
+		switch {
+		case a < b:
+			return bytes.Compare(ka, kb) < 0
+		case a > b:
+			return bytes.Compare(ka, kb) > 0
+		default:
+			return bytes.Equal(ka, kb)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKeyOrderMatchesStringOrder(t *testing.T) {
+	f := func(a, b string) bool {
+		ka := EncodeKey(Row{String(a)})
+		kb := EncodeKey(Row{String(b)})
+		return sign(bytes.Compare(ka, kb)) == sign(bytes.Compare([]byte(a), []byte(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	good := sampleSchema()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	cases := []*Schema{
+		{Name: "", Columns: []Column{{Name: "a", Kind: KindInt64}}, KeyCols: 1},
+		{Name: "t", Columns: nil, KeyCols: 1},
+		{Name: "t", Columns: []Column{{Name: "a", Kind: KindInt64}}, KeyCols: 0},
+		{Name: "t", Columns: []Column{{Name: "a", Kind: KindInt64}}, KeyCols: 2},
+		{Name: "t", Columns: []Column{{Name: "a", Kind: KindInt64}, {Name: "a", Kind: KindInt64}}, KeyCols: 1},
+		{Name: "t", Columns: []Column{{Name: "", Kind: KindInt64}}, KeyCols: 1},
+		{Name: "t", Columns: []Column{{Name: "a", Kind: Kind(99)}}, KeyCols: 1},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid schema accepted", i)
+		}
+	}
+}
+
+func TestRowCheckAgainst(t *testing.T) {
+	s := sampleSchema()
+	good := Row{Int64(1), String("x"), Float64(0), BytesVal(nil), Bool(false), Time(time.Unix(0, 0))}
+	if err := good.CheckAgainst(s); err != nil {
+		t.Fatalf("valid row rejected: %v", err)
+	}
+	if err := (Row{Int64(1)}).CheckAgainst(s); err == nil {
+		t.Error("short row accepted")
+	}
+	bad := Row{String("wrong"), String("x"), Float64(0), BytesVal(nil), Bool(false), Time(time.Unix(0, 0))}
+	if err := bad.CheckAgainst(s); err == nil {
+		t.Error("type-mismatched row accepted")
+	}
+	nullKey := Row{Null(KindInt64), String("x"), Float64(0), BytesVal(nil), Bool(false), Time(time.Unix(0, 0))}
+	if err := nullKey.CheckAgainst(s); err == nil {
+		t.Error("null key accepted")
+	}
+}
+
+func TestSchemaCodecRoundTrip(t *testing.T) {
+	s := sampleSchema()
+	got, err := DecodeSchema(EncodeSchema(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("schema round trip:\n got %+v\nwant %+v", got, s)
+	}
+	if _, err := DecodeSchema([]byte{1, 2}); err == nil {
+		t.Error("garbage schema accepted")
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	s := sampleSchema()
+	if s.ColumnIndex("score") != 2 {
+		t.Errorf("ColumnIndex(score) = %d", s.ColumnIndex("score"))
+	}
+	if s.ColumnIndex("missing") != -1 {
+		t.Error("missing column should return -1")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Null(KindInt64).String() != "NULL" {
+		t.Error("null string repr")
+	}
+	if Int64(5).String() != "5" || String("x").String() != "x" || Bool(true).String() != "true" {
+		t.Error("value string reprs")
+	}
+}

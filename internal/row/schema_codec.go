@@ -1,0 +1,70 @@
+package row
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodeSchema serializes a schema for storage in the catalog.
+func EncodeSchema(s *Schema) []byte {
+	var buf []byte
+	var tmp [4]byte
+	putStr := func(v string) {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(v)))
+		buf = append(buf, tmp[:]...)
+		buf = append(buf, v...)
+	}
+	putStr(s.Name)
+	binary.LittleEndian.PutUint32(tmp[:], uint32(s.KeyCols))
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(s.Columns)))
+	buf = append(buf, tmp[:]...)
+	for _, c := range s.Columns {
+		putStr(c.Name)
+		buf = append(buf, byte(c.Kind))
+	}
+	return buf
+}
+
+// DecodeSchema parses an encoded schema.
+func DecodeSchema(b []byte) (*Schema, error) {
+	getStr := func() (string, error) {
+		if len(b) < 4 {
+			return "", fmt.Errorf("row: truncated schema string length")
+		}
+		n := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < n {
+			return "", fmt.Errorf("row: truncated schema string")
+		}
+		v := string(b[:n])
+		b = b[n:]
+		return v, nil
+	}
+	s := &Schema{}
+	var err error
+	if s.Name, err = getStr(); err != nil {
+		return nil, err
+	}
+	if len(b) < 8 {
+		return nil, fmt.Errorf("row: truncated schema header")
+	}
+	s.KeyCols = int(binary.LittleEndian.Uint32(b))
+	ncols := int(binary.LittleEndian.Uint32(b[4:]))
+	b = b[8:]
+	for i := 0; i < ncols; i++ {
+		name, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		if len(b) < 1 {
+			return nil, fmt.Errorf("row: truncated column kind")
+		}
+		s.Columns = append(s.Columns, Column{Name: name, Kind: Kind(b[0])})
+		b = b[1:]
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,314 @@
+// Package buffer implements the buffer manager of §2.1: a fixed set of
+// frames caching pages, with shared/exclusive page latches, pin counts,
+// LRU-ish eviction and the write-ahead-log rule (the log is flushed up to a
+// page's pageLSN before the page is written back).
+//
+// The same pool type serves both the primary database and as-of snapshots:
+// a snapshot wires in a Source whose ReadPage implements the §5.3 protocol
+// (side file hit, else read primary and rewind with PreparePageAsOf) and
+// whose WritePage goes to the side file.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/storage/page"
+)
+
+// Source provides page-granular backing storage for a pool.
+type Source interface {
+	ReadPage(id page.ID, buf []byte) error
+	WritePage(id page.ID, buf []byte) error
+}
+
+// ErrNoFrames is returned when every frame is pinned and none can be evicted.
+var ErrNoFrames = errors.New("buffer: all frames pinned")
+
+// Config configures a Pool.
+type Config struct {
+	// Frames is the number of page frames (default 256).
+	Frames int
+	// Source is the backing store. Required.
+	Source Source
+	// FlushLog is called with a pageLSN before a dirty page is written back
+	// (the WAL rule). May be nil when the pool's pages are not logged
+	// (snapshot side files).
+	FlushLog func(pageLSN uint64) error
+	// Checksums enables verify-on-read and stamp-on-write.
+	Checksums bool
+}
+
+type frame struct {
+	latch sync.RWMutex
+	id    page.ID
+	pg    *page.Page
+	dirty bool
+	pins  int  // guarded by Pool.mu
+	used  bool // clock bit, guarded by Pool.mu
+}
+
+// Pool is a buffer pool. It is safe for concurrent use.
+type Pool struct {
+	cfg Config
+
+	mu     sync.Mutex
+	table  map[page.ID]*frame
+	frames []*frame
+	hand   int // clock sweep position
+
+	hits   int64
+	misses int64
+}
+
+// New creates a pool.
+func New(cfg Config) *Pool {
+	if cfg.Frames <= 0 {
+		cfg.Frames = 256
+	}
+	p := &Pool{cfg: cfg, table: make(map[page.ID]*frame, cfg.Frames)}
+	p.frames = make([]*frame, cfg.Frames)
+	for i := range p.frames {
+		p.frames[i] = &frame{id: page.InvalidID, pg: page.New()}
+	}
+	return p
+}
+
+// Handle is a pinned, latched page. Callers must Release it promptly.
+type Handle struct {
+	pool  *Pool
+	frame *frame
+	excl  bool
+	done  bool
+}
+
+// Page returns the latched page.
+func (h *Handle) Page() *page.Page { return h.frame.pg }
+
+// MarkDirty records that the page has been modified. Requires an exclusive
+// handle.
+func (h *Handle) MarkDirty() {
+	if !h.excl {
+		panic("buffer: MarkDirty on shared handle")
+	}
+	h.frame.dirty = true
+}
+
+// Release unlatches and unpins the page. Safe to call once.
+func (h *Handle) Release() {
+	if h.done {
+		panic("buffer: double release")
+	}
+	h.done = true
+	if h.excl {
+		h.frame.latch.Unlock()
+	} else {
+		h.frame.latch.RUnlock()
+	}
+	h.pool.unpin(h.frame)
+}
+
+// Upgrade is not supported; callers re-fetch with excl=true. Declared here
+// so the invariant is documented in one place: latch upgrades deadlock.
+
+// Fetch returns a latched handle on page id, reading it from the source on
+// a miss.
+func (p *Pool) Fetch(id page.ID, excl bool) (*Handle, error) {
+	return p.fetch(id, excl, true)
+}
+
+// NewPage returns an exclusively latched handle on a frame for page id
+// without reading the source — for pages being created (fresh allocations).
+// The frame content is zeroed; callers format it.
+func (p *Pool) NewPage(id page.ID) (*Handle, error) {
+	h, err := p.fetch(id, true, false)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func (p *Pool) fetch(id page.ID, excl, read bool) (*Handle, error) {
+	if id == page.InvalidID {
+		return nil, fmt.Errorf("buffer: fetch of invalid page id")
+	}
+	p.mu.Lock()
+	if f, ok := p.table[id]; ok {
+		f.pins++
+		f.used = true
+		p.hits++
+		p.mu.Unlock()
+		lockFrame(f, excl)
+		return &Handle{pool: p, frame: f, excl: excl}, nil
+	}
+	p.misses++
+	// Miss: evict a victim and load. The pool lock is held across the I/O;
+	// see package comment for the trade-off (simplicity over miss-path
+	// concurrency; hot working sets stay resident).
+	f, err := p.evictLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	if read {
+		if err := p.cfg.Source.ReadPage(id, f.pg.Bytes()); err != nil {
+			f.id = page.InvalidID
+			p.mu.Unlock()
+			return nil, err
+		}
+		if p.cfg.Checksums {
+			if err := f.pg.VerifyChecksum(); err != nil {
+				f.id = page.InvalidID
+				p.mu.Unlock()
+				return nil, err
+			}
+		}
+	} else {
+		zero(f.pg.Bytes())
+	}
+	f.id = id
+	f.dirty = false
+	f.pins = 1
+	f.used = true
+	p.table[id] = f
+	p.mu.Unlock()
+	lockFrame(f, excl)
+	return &Handle{pool: p, frame: f, excl: excl}, nil
+}
+
+func lockFrame(f *frame, excl bool) {
+	if excl {
+		f.latch.Lock()
+	} else {
+		f.latch.RLock()
+	}
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// evictLocked finds a reusable frame, writing it back if dirty.
+// Called with p.mu held; returns with p.mu still held.
+func (p *Pool) evictLocked() (*frame, error) {
+	n := len(p.frames)
+	for sweep := 0; sweep < 2*n+1; sweep++ {
+		f := p.frames[p.hand]
+		p.hand = (p.hand + 1) % n
+		if f.pins > 0 {
+			continue
+		}
+		if f.used {
+			f.used = false
+			continue
+		}
+		if f.id != page.InvalidID {
+			if f.dirty {
+				if err := p.writeBack(f); err != nil {
+					return nil, err
+				}
+			}
+			delete(p.table, f.id)
+			f.id = page.InvalidID
+		}
+		return f, nil
+	}
+	return nil, ErrNoFrames
+}
+
+// writeBack flushes one dirty frame, honoring the WAL rule.
+// Caller holds p.mu and guarantees pins == 0 (no latch holder exists).
+func (p *Pool) writeBack(f *frame) error {
+	if p.cfg.FlushLog != nil {
+		if err := p.cfg.FlushLog(f.pg.PageLSN()); err != nil {
+			return fmt.Errorf("buffer: WAL flush before writeback of page %d: %w", f.id, err)
+		}
+	}
+	if p.cfg.Checksums {
+		f.pg.WriteChecksum()
+	}
+	if err := p.cfg.Source.WritePage(f.id, f.pg.Bytes()); err != nil {
+		return fmt.Errorf("buffer: writeback of page %d: %w", f.id, err)
+	}
+	f.dirty = false
+	return nil
+}
+
+func (p *Pool) unpin(f *frame) {
+	p.mu.Lock()
+	f.pins--
+	if f.pins < 0 {
+		p.mu.Unlock()
+		panic("buffer: negative pin count")
+	}
+	p.mu.Unlock()
+}
+
+// FlushAll writes back every dirty page. Pages being modified concurrently
+// are briefly latched shared to get a consistent image.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	dirty := make([]*frame, 0, len(p.frames))
+	for _, f := range p.frames {
+		if f.id != page.InvalidID && f.dirty {
+			f.pins++ // keep resident while we work on it
+			dirty = append(dirty, f)
+		}
+	}
+	p.mu.Unlock()
+
+	var firstErr error
+	for _, f := range dirty {
+		f.latch.RLock()
+		p.mu.Lock()
+		var err error
+		if f.dirty && f.id != page.InvalidID {
+			err = p.writeBack(f)
+		}
+		p.mu.Unlock()
+		f.latch.RUnlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		p.unpin(f)
+	}
+	return firstErr
+}
+
+// DropAll discards every non-pinned clean frame and fails if dirty or pinned
+// frames remain. Used when tearing a pool down deterministically in tests.
+func (p *Pool) DropAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.id == page.InvalidID {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: page %d still pinned", f.id)
+		}
+		if f.dirty {
+			return fmt.Errorf("buffer: page %d still dirty", f.id)
+		}
+		delete(p.table, f.id)
+		f.id = page.InvalidID
+	}
+	return nil
+}
+
+// Stats returns (hits, misses) counters.
+func (p *Pool) Stats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// Resident returns the number of pages currently cached.
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.table)
+}

@@ -1,0 +1,319 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/storage/page"
+)
+
+// memSource is an in-memory Source for tests.
+type memSource struct {
+	mu     sync.Mutex
+	pages  map[page.ID][]byte
+	reads  int
+	writes int
+	failRd bool
+}
+
+func newMemSource() *memSource { return &memSource{pages: make(map[page.ID][]byte)} }
+
+func (m *memSource) ReadPage(id page.ID, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reads++
+	if m.failRd {
+		return errors.New("injected read failure")
+	}
+	src, ok := m.pages[id]
+	if !ok {
+		return fmt.Errorf("memsource: no page %d", id)
+	}
+	copy(buf, src)
+	return nil
+}
+
+func (m *memSource) WritePage(id page.ID, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writes++
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	m.pages[id] = cp
+	return nil
+}
+
+func (m *memSource) seed(id page.ID) {
+	p := page.New()
+	p.Format(id, page.TypeLeaf, 0)
+	p.InsertAt(0, []byte(fmt.Sprintf("page-%d", id)))
+	m.pages[id] = append([]byte(nil), p.Bytes()...)
+}
+
+func TestFetchReadsThrough(t *testing.T) {
+	src := newMemSource()
+	src.seed(1)
+	pool := New(Config{Frames: 4, Source: src})
+	h, err := pool.Fetch(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(h.Page().MustGet(0)); got != "page-1" {
+		t.Fatalf("content = %q", got)
+	}
+	h.Release()
+	if src.reads != 1 {
+		t.Fatalf("source reads = %d, want 1", src.reads)
+	}
+	// Second fetch hits cache.
+	h2, _ := pool.Fetch(1, false)
+	h2.Release()
+	if src.reads != 1 {
+		t.Fatalf("cache miss on resident page: reads = %d", src.reads)
+	}
+	hits, misses := pool.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestDirtyEvictionWritesBackWithWALRule(t *testing.T) {
+	src := newMemSource()
+	for i := 0; i < 5; i++ {
+		src.seed(page.ID(i))
+	}
+	var flushedTo uint64
+	pool := New(Config{
+		Frames: 2,
+		Source: src,
+		FlushLog: func(lsn uint64) error {
+			if lsn > flushedTo {
+				flushedTo = lsn
+			}
+			return nil
+		},
+	})
+	h, err := pool.Fetch(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Page().UpdateAt(0, []byte("modified"))
+	h.Page().SetPageLSN(777)
+	h.MarkDirty()
+	h.Release()
+
+	// Fill the pool to force eviction of page 0.
+	for i := 1; i < 5; i++ {
+		h, err := pool.Fetch(page.ID(i), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	if flushedTo != 777 {
+		t.Fatalf("WAL flushed to %d before writeback, want 777", flushedTo)
+	}
+	if src.writes == 0 {
+		t.Fatal("dirty page never written back")
+	}
+	// Re-read page 0: the modification must have survived.
+	h, err = pool.Fetch(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if got := string(h.Page().MustGet(0)); got != "modified" {
+		t.Fatalf("writeback lost modification: %q", got)
+	}
+}
+
+func TestAllPinnedFails(t *testing.T) {
+	src := newMemSource()
+	for i := 0; i < 3; i++ {
+		src.seed(page.ID(i))
+	}
+	pool := New(Config{Frames: 2, Source: src})
+	h0, _ := pool.Fetch(0, false)
+	h1, _ := pool.Fetch(1, false)
+	if _, err := pool.Fetch(2, false); !errors.Is(err, ErrNoFrames) {
+		t.Fatalf("fetch with all pinned: %v, want ErrNoFrames", err)
+	}
+	h0.Release()
+	h1.Release()
+	if _, err := pool.Fetch(2, false); err != nil {
+		t.Fatalf("fetch after release: %v", err)
+	}
+}
+
+func TestNewPageSkipsRead(t *testing.T) {
+	src := newMemSource()
+	pool := New(Config{Frames: 2, Source: src})
+	h, err := pool.NewPage(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Page().Format(9, page.TypeLeaf, 0)
+	h.MarkDirty()
+	h.Release()
+	if src.reads != 0 {
+		t.Fatalf("NewPage read the source %d times", src.reads)
+	}
+	// The new page is fetchable from cache.
+	h2, err := pool.Fetch(9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Page().ID() != 9 {
+		t.Fatalf("new page id = %d", h2.Page().ID())
+	}
+	h2.Release()
+}
+
+func TestFlushAllWritesDirtyOnly(t *testing.T) {
+	src := newMemSource()
+	src.seed(0)
+	src.seed(1)
+	pool := New(Config{Frames: 4, Source: src})
+	h0, _ := pool.Fetch(0, true)
+	h0.Page().UpdateAt(0, []byte("dirty!"))
+	h0.MarkDirty()
+	h0.Release()
+	h1, _ := pool.Fetch(1, false)
+	h1.Release()
+
+	src.mu.Lock()
+	src.writes = 0
+	src.mu.Unlock()
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if src.writes != 1 {
+		t.Fatalf("FlushAll wrote %d pages, want 1", src.writes)
+	}
+	// Second flush is a no-op.
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if src.writes != 1 {
+		t.Fatalf("second FlushAll wrote again: %d", src.writes)
+	}
+}
+
+func TestReadFailureLeavesPoolUsable(t *testing.T) {
+	src := newMemSource()
+	src.seed(0)
+	pool := New(Config{Frames: 2, Source: src})
+	src.failRd = true
+	if _, err := pool.Fetch(0, false); err == nil {
+		t.Fatal("expected read failure")
+	}
+	src.failRd = false
+	h, err := pool.Fetch(0, false)
+	if err != nil {
+		t.Fatalf("pool unusable after failed read: %v", err)
+	}
+	h.Release()
+}
+
+func TestChecksumVerifiedOnRead(t *testing.T) {
+	src := newMemSource()
+	p := page.New()
+	p.Format(1, page.TypeLeaf, 0)
+	p.InsertAt(0, []byte("checked"))
+	p.WriteChecksum()
+	buf := append([]byte(nil), p.Bytes()...)
+	buf[100] ^= 0xFF // corrupt
+	src.pages[1] = buf
+
+	pool := New(Config{Frames: 2, Source: src, Checksums: true})
+	if _, err := pool.Fetch(1, false); err == nil {
+		t.Fatal("corrupted page should fail checksum on fetch")
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	src := newMemSource()
+	for i := 0; i < 16; i++ {
+		src.seed(page.ID(i))
+	}
+	pool := New(Config{Frames: 8, Source: src})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := page.ID((w + i) % 16)
+				h, err := pool.Fetch(id, false)
+				if err != nil {
+					if errors.Is(err, ErrNoFrames) {
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				if h.Page().ID() != id {
+					t.Errorf("fetched %d got page %d", id, h.Page().ID())
+				}
+				h.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestExclusiveLatchBlocksSharers(t *testing.T) {
+	src := newMemSource()
+	src.seed(0)
+	pool := New(Config{Frames: 2, Source: src})
+	h, _ := pool.Fetch(0, true)
+	done := make(chan struct{})
+	go func() {
+		h2, err := pool.Fetch(0, false)
+		if err != nil {
+			t.Error(err)
+		} else {
+			h2.Release()
+		}
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond) // give the goroutine a chance to block
+	select {
+	case <-done:
+		t.Fatal("shared fetch did not block on exclusive latch")
+	default:
+	}
+	h.Release()
+	<-done
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	src := newMemSource()
+	src.seed(0)
+	pool := New(Config{Frames: 2, Source: src})
+	h, _ := pool.Fetch(0, false)
+	h.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release should panic")
+		}
+	}()
+	h.Release()
+}
+
+func TestMarkDirtyOnSharedPanics(t *testing.T) {
+	src := newMemSource()
+	src.seed(0)
+	pool := New(Config{Frames: 2, Source: src})
+	h, _ := pool.Fetch(0, false)
+	defer h.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MarkDirty on shared handle should panic")
+		}
+	}()
+	h.MarkDirty()
+}

@@ -1,0 +1,155 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage/media"
+	"repro/internal/storage/page"
+)
+
+func testFile(t *testing.T, dev *media.Device) *File {
+	t.Helper()
+	f, err := Open(filepath.Join(t.TempDir(), "data.db"), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func somePage(id page.ID, fill byte) []byte {
+	p := page.New()
+	p.Format(id, page.TypeLeaf, 0)
+	p.InsertAt(0, bytes.Repeat([]byte{fill}, 32))
+	return p.Bytes()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := testFile(t, nil)
+	want := somePage(3, 'a')
+	if err := f.WritePage(3, want); err != nil {
+		t.Fatal(err)
+	}
+	if f.PageCount() != 4 {
+		t.Fatalf("PageCount = %d, want 4", f.PageCount())
+	}
+	got := make([]byte, page.Size)
+	if err := f.ReadPage(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("page round trip mismatch")
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	f := testFile(t, nil)
+	buf := make([]byte, page.Size)
+	if err := f.ReadPage(0, buf); !errors.Is(err, ErrPastEOF) {
+		t.Fatalf("read of empty file: %v, want ErrPastEOF", err)
+	}
+}
+
+func TestEnsureGrowsWithZeroPages(t *testing.T) {
+	f := testFile(t, nil)
+	if err := f.Ensure(5); err != nil {
+		t.Fatal(err)
+	}
+	if f.PageCount() != 5 {
+		t.Fatalf("PageCount = %d, want 5", f.PageCount())
+	}
+	buf := make([]byte, page.Size)
+	if err := f.ReadPage(4, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("grown page not zeroed")
+		}
+	}
+	// Ensure to a smaller size is a no-op.
+	if err := f.Ensure(2); err != nil {
+		t.Fatal(err)
+	}
+	if f.PageCount() != 5 {
+		t.Fatal("Ensure shrank the file")
+	}
+}
+
+func TestRandomIOCharged(t *testing.T) {
+	dev := media.New(media.SAS(), nil)
+	f := testFile(t, dev)
+	f.WritePage(0, somePage(0, 'x'))
+	buf := make([]byte, page.Size)
+	f.ReadPage(0, buf)
+	if dev.Stats.RandWrites.Load() != 1 || dev.Stats.RandReads.Load() != 1 {
+		t.Fatalf("stats: %+v", dev.Stats.Snapshot())
+	}
+	if dev.Clock.Elapsed() < media.SAS().RandReadLat {
+		t.Fatal("no latency charged")
+	}
+}
+
+func TestSequentialReadVisitsAllPagesInOrder(t *testing.T) {
+	dev := media.New(media.SSD(), nil)
+	f := testFile(t, dev)
+	for i := 0; i < 10; i++ {
+		f.WritePage(page.ID(i), somePage(page.ID(i), byte('a'+i)))
+	}
+	dev.Stats.Reset()
+	var ids []page.ID
+	err := f.SequentialRead(func(id page.ID, buf []byte) error {
+		ids = append(ids, id)
+		if page.FromBytes(buf).ID() != id {
+			t.Errorf("page %d content id mismatch", id)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 || ids[0] != 0 || ids[9] != 9 {
+		t.Fatalf("sequential read ids: %v", ids)
+	}
+	if dev.Stats.SeqReads.Load() != 10 || dev.Stats.RandReads.Load() != 0 {
+		t.Fatalf("sequential read charged as: %+v", dev.Stats.Snapshot())
+	}
+}
+
+func TestSequentialWriteStreams(t *testing.T) {
+	f := testFile(t, nil)
+	src := [][]byte{somePage(0, 'p'), somePage(1, 'q')}
+	i := 0
+	err := f.SequentialWrite(func(buf []byte) error {
+		if i >= len(src) {
+			return io.EOF
+		}
+		copy(buf, src[i])
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.PageCount() != 2 {
+		t.Fatalf("PageCount = %d, want 2", f.PageCount())
+	}
+	buf := make([]byte, page.Size)
+	f.ReadPage(1, buf)
+	if !bytes.Equal(buf, src[1]) {
+		t.Fatal("sequential write content mismatch")
+	}
+}
+
+func TestSequentialReadPropagatesCallbackError(t *testing.T) {
+	f := testFile(t, nil)
+	f.WritePage(0, somePage(0, 'x'))
+	sentinel := errors.New("stop")
+	if err := f.SequentialRead(func(page.ID, []byte) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}

@@ -1,0 +1,129 @@
+package media
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Elapsed() != 0 {
+		t.Fatalf("zero clock elapsed = %v, want 0", c.Elapsed())
+	}
+	c.Advance(5 * time.Millisecond)
+	c.Advance(3 * time.Millisecond)
+	if got := c.Elapsed(); got != 8*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 8ms", got)
+	}
+	c.Advance(-time.Second) // ignored
+	if got := c.Elapsed(); got != 8*time.Millisecond {
+		t.Fatalf("elapsed after negative advance = %v, want 8ms", got)
+	}
+	c.Reset()
+	if c.Elapsed() != 0 {
+		t.Fatalf("elapsed after reset = %v, want 0", c.Elapsed())
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Elapsed(); got != 8*1000*time.Microsecond {
+		t.Fatalf("elapsed = %v, want 8ms", got)
+	}
+}
+
+func TestNilDeviceIsNoOp(t *testing.T) {
+	var d *Device
+	d.ChargeRead(4096, false) // must not panic
+	d.ChargeWrite(4096, true)
+}
+
+func TestRandomReadChargesLatency(t *testing.T) {
+	d := New(SAS(), nil)
+	d.ChargeRead(8192, false)
+	if got := d.Clock.Elapsed(); got < 8*time.Millisecond {
+		t.Fatalf("random SAS read charged %v, want >= 8ms latency", got)
+	}
+	if d.Stats.RandReads.Load() != 1 {
+		t.Fatalf("RandReads = %d, want 1", d.Stats.RandReads.Load())
+	}
+}
+
+func TestSequentialReadChargesBandwidthOnly(t *testing.T) {
+	d := New(SAS(), nil)
+	d.ChargeRead(150<<20, true) // one second of transfer at 150 MB/s
+	got := d.Clock.Elapsed()
+	if got < 990*time.Millisecond || got > 1010*time.Millisecond {
+		t.Fatalf("sequential read of 1s worth charged %v", got)
+	}
+	if d.Stats.SeqReads.Load() != 1 || d.Stats.RandReads.Load() != 0 {
+		t.Fatalf("stats = %+v, want one sequential read", d.Stats.Snapshot())
+	}
+}
+
+func TestSSDFasterThanSASForRandomIO(t *testing.T) {
+	ssd := New(SSD(), nil)
+	sas := New(SAS(), nil)
+	for i := 0; i < 100; i++ {
+		ssd.ChargeRead(8192, false)
+		sas.ChargeRead(8192, false)
+	}
+	if ssd.Clock.Elapsed()*10 > sas.Clock.Elapsed() {
+		t.Fatalf("SSD random I/O (%v) should be >10x faster than SAS (%v)",
+			ssd.Clock.Elapsed(), sas.Clock.Elapsed())
+	}
+}
+
+func TestRAMProfileIsFree(t *testing.T) {
+	d := New(RAM(), nil)
+	d.ChargeRead(1<<30, false)
+	d.ChargeWrite(1<<30, true)
+	if got := d.Clock.Elapsed(); got != 0 {
+		t.Fatalf("RAM device charged %v, want 0", got)
+	}
+}
+
+func TestStatsSnapshotSub(t *testing.T) {
+	d := New(SSD(), nil)
+	d.ChargeRead(100, false)
+	before := d.Stats.Snapshot()
+	d.ChargeRead(200, false)
+	d.ChargeWrite(300, true)
+	delta := d.Stats.Snapshot().Sub(before)
+	if delta.RandReads != 1 || delta.ReadBytes != 200 || delta.SeqWrites != 1 || delta.WriteBytes != 300 {
+		t.Fatalf("delta = %+v", delta)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	d := New(SSD(), nil)
+	d.ChargeRead(100, false)
+	d.Stats.Reset()
+	if s := d.Stats.Snapshot(); s != (StatsSnapshot{}) {
+		t.Fatalf("after reset stats = %+v, want zero", s)
+	}
+}
+
+func TestSharedClock(t *testing.T) {
+	var clk Clock
+	a := New(SSD(), &clk)
+	b := New(SAS(), &clk)
+	a.ChargeRead(8192, false)
+	b.ChargeRead(8192, false)
+	want := SSD().RandReadLat + SAS().RandReadLat
+	if got := clk.Elapsed(); got < want {
+		t.Fatalf("shared clock = %v, want >= %v", got, want)
+	}
+}

@@ -1,0 +1,339 @@
+package page
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatEmpty(t *testing.T) {
+	p := New()
+	p.Format(7, TypeLeaf, 0)
+	if p.ID() != 7 {
+		t.Errorf("ID = %d, want 7", p.ID())
+	}
+	if p.Type() != TypeLeaf {
+		t.Errorf("Type = %v, want leaf", p.Type())
+	}
+	if p.NumSlots() != 0 {
+		t.Errorf("NumSlots = %d, want 0", p.NumSlots())
+	}
+	if p.PageLSN() != 0 {
+		t.Errorf("PageLSN = %d, want 0", p.PageLSN())
+	}
+	if p.NextPage() != InvalidID {
+		t.Errorf("NextPage = %d, want InvalidID", p.NextPage())
+	}
+	if p.FreeSpace() != Size-headerSize-slotSize {
+		t.Errorf("FreeSpace = %d, want %d", p.FreeSpace(), Size-headerSize-slotSize)
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	p := New()
+	p.Format(1, TypeLeaf, 0)
+	recs := [][]byte{[]byte("alpha"), []byte("bravo"), []byte("charlie")}
+	for i, r := range recs {
+		if err := p.InsertAt(i, r); err != nil {
+			t.Fatalf("InsertAt(%d): %v", i, err)
+		}
+	}
+	for i, r := range recs {
+		got, err := p.Get(i)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, r) {
+			t.Errorf("Get(%d) = %q, want %q", i, got, r)
+		}
+	}
+	removed, err := p.DeleteAt(1)
+	if err != nil {
+		t.Fatalf("DeleteAt(1): %v", err)
+	}
+	if !bytes.Equal(removed, []byte("bravo")) {
+		t.Errorf("removed = %q, want bravo", removed)
+	}
+	if p.NumSlots() != 2 {
+		t.Fatalf("NumSlots = %d, want 2", p.NumSlots())
+	}
+	if got := p.MustGet(1); !bytes.Equal(got, []byte("charlie")) {
+		t.Errorf("slot 1 after delete = %q, want charlie", got)
+	}
+}
+
+func TestInsertInMiddleShiftsSlots(t *testing.T) {
+	p := New()
+	p.Format(1, TypeLeaf, 0)
+	if err := p.InsertAt(0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertAt(1, []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertAt(1, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if got := string(p.MustGet(i)); got != w {
+			t.Errorf("slot %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestUpdateInPlaceAndGrow(t *testing.T) {
+	p := New()
+	p.Format(1, TypeLeaf, 0)
+	if err := p.InsertAt(0, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertAt(1, []byte("sentinel")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UpdateAt(0, []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(p.MustGet(0)); got != "tiny" {
+		t.Errorf("after shrink = %q", got)
+	}
+	big := bytes.Repeat([]byte("x"), 100)
+	if err := p.UpdateAt(0, big); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.MustGet(0), big) {
+		t.Errorf("after grow mismatch")
+	}
+	if got := string(p.MustGet(1)); got != "sentinel" {
+		t.Errorf("sentinel corrupted: %q", got)
+	}
+}
+
+func TestBadSlotErrors(t *testing.T) {
+	p := New()
+	p.Format(1, TypeLeaf, 0)
+	if _, err := p.Get(0); err == nil {
+		t.Error("Get(0) on empty page should fail")
+	}
+	if _, err := p.DeleteAt(0); err == nil {
+		t.Error("DeleteAt(0) on empty page should fail")
+	}
+	if err := p.UpdateAt(0, []byte("x")); err == nil {
+		t.Error("UpdateAt(0) on empty page should fail")
+	}
+	if err := p.InsertAt(2, []byte("x")); err == nil {
+		t.Error("InsertAt past end should fail")
+	}
+	if err := p.InsertAt(-1, []byte("x")); err == nil {
+		t.Error("InsertAt(-1) should fail")
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	p := New()
+	p.Format(1, TypeLeaf, 0)
+	rec := bytes.Repeat([]byte("z"), 1000)
+	inserted := 0
+	for {
+		if err := p.InsertAt(p.NumSlots(), rec); err != nil {
+			break
+		}
+		inserted++
+	}
+	if inserted != 8 { // 8*(1000+4) = 8032 <= 8144; 9th does not fit
+		t.Errorf("inserted %d 1000-byte records, want 8", inserted)
+	}
+	if err := p.InsertAt(0, rec); err == nil {
+		t.Error("insert into full page should fail")
+	}
+}
+
+func TestTooLargeRecord(t *testing.T) {
+	p := New()
+	p.Format(1, TypeLeaf, 0)
+	if err := p.InsertAt(0, make([]byte, MaxRecordSize+1)); err == nil {
+		t.Error("oversized insert should fail")
+	}
+	if err := p.InsertAt(0, make([]byte, MaxRecordSize)); err != nil {
+		t.Errorf("max-size insert failed: %v", err)
+	}
+}
+
+func TestCompactionReclaimsSpace(t *testing.T) {
+	p := New()
+	p.Format(1, TypeLeaf, 0)
+	rec := bytes.Repeat([]byte("z"), 1000)
+	for i := 0; i < 8; i++ {
+		if err := p.InsertAt(i, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete every other record to fragment the heap.
+	for i := 3; i >= 0; i-- {
+		if _, err := p.DeleteAt(i * 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 4 * 1004 bytes reclaimable; this insert forces compaction.
+	big := bytes.Repeat([]byte("y"), 3000)
+	if err := p.InsertAt(0, big); err != nil {
+		t.Fatalf("insert after fragmentation: %v", err)
+	}
+	if !bytes.Equal(p.MustGet(0), big) {
+		t.Error("big record corrupted after compaction")
+	}
+	for i := 1; i <= 4; i++ {
+		if !bytes.Equal(p.MustGet(i), rec) {
+			t.Errorf("survivor %d corrupted after compaction", i)
+		}
+	}
+}
+
+func TestHeaderFieldRoundTrips(t *testing.T) {
+	p := New()
+	p.Format(42, TypeInternal, 3)
+	p.SetPageLSN(0xDEADBEEF01)
+	p.SetLastImageLSN(0xCAFE02)
+	p.SetNextPage(99)
+	p.SetModCount(17)
+	if p.PageLSN() != 0xDEADBEEF01 || p.LastImageLSN() != 0xCAFE02 {
+		t.Error("LSN fields corrupted")
+	}
+	if p.NextPage() != 99 || p.ModCount() != 17 || p.Level() != 3 {
+		t.Error("header fields corrupted")
+	}
+	if n := p.BumpModCount(); n != 18 {
+		t.Errorf("BumpModCount = %d, want 18", n)
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	p := New()
+	p.Format(5, TypeLeaf, 0)
+	if err := p.InsertAt(0, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	p.WriteChecksum()
+	if err := p.VerifyChecksum(); err != nil {
+		t.Fatalf("checksum should verify: %v", err)
+	}
+	p.Bytes()[headerSize+100] ^= 0xFF
+	if err := p.VerifyChecksum(); err == nil {
+		t.Fatal("corrupted page should fail checksum")
+	}
+}
+
+func TestZeroPagePassesChecksum(t *testing.T) {
+	p := FromBytes(make([]byte, Size))
+	if err := p.VerifyChecksum(); err != nil {
+		t.Fatalf("all-zero page should verify: %v", err)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := New()
+	p.Format(1, TypeLeaf, 0)
+	if err := p.InsertAt(0, []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	if err := q.UpdateAt(0, []byte("mutated!")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(p.MustGet(0)); got != "original" {
+		t.Errorf("clone mutation leaked into original: %q", got)
+	}
+}
+
+// opScript drives the property test: a deterministic random op sequence
+// applied both to a Page and to a [][]byte model must agree at every step.
+func runOpScript(seed int64, steps int) error {
+	rng := rand.New(rand.NewSource(seed))
+	p := New()
+	p.Format(1, TypeLeaf, 0)
+	var model [][]byte
+	for s := 0; s < steps; s++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || len(model) == 0: // insert
+			rec := make([]byte, 1+rng.Intn(200))
+			rng.Read(rec)
+			i := rng.Intn(len(model) + 1)
+			err := p.InsertAt(i, rec)
+			if err != nil {
+				if len(rec)+slotSize <= p.FreeSpace() {
+					return fmt.Errorf("step %d: insert failed with %d free: %v", s, p.FreeSpace(), err)
+				}
+				continue
+			}
+			model = append(model, nil)
+			copy(model[i+1:], model[i:])
+			model[i] = rec
+		case op == 1: // delete
+			i := rng.Intn(len(model))
+			got, err := p.DeleteAt(i)
+			if err != nil {
+				return fmt.Errorf("step %d: delete: %v", s, err)
+			}
+			if !bytes.Equal(got, model[i]) {
+				return fmt.Errorf("step %d: delete returned %x, want %x", s, got, model[i])
+			}
+			model = append(model[:i], model[i+1:]...)
+		case op == 2: // update
+			i := rng.Intn(len(model))
+			rec := make([]byte, 1+rng.Intn(200))
+			rng.Read(rec)
+			if err := p.UpdateAt(i, rec); err != nil {
+				continue // page full is acceptable
+			}
+			model[i] = rec
+		case op == 3: // verify all
+			if p.NumSlots() != len(model) {
+				return fmt.Errorf("step %d: slots %d, model %d", s, p.NumSlots(), len(model))
+			}
+			for i, want := range model {
+				got, err := p.Get(i)
+				if err != nil {
+					return fmt.Errorf("step %d: get(%d): %v", s, i, err)
+				}
+				if !bytes.Equal(got, want) {
+					return fmt.Errorf("step %d: slot %d mismatch", s, i)
+				}
+			}
+		}
+	}
+	// Final full verification.
+	if p.NumSlots() != len(model) {
+		return fmt.Errorf("final: slots %d, model %d", p.NumSlots(), len(model))
+	}
+	for i, want := range model {
+		got, err := p.Get(i)
+		if err != nil || !bytes.Equal(got, want) {
+			return fmt.Errorf("final: slot %d mismatch (%v)", i, err)
+		}
+	}
+	return nil
+}
+
+func TestQuickSlottedPageMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		if err := runOpScript(seed, 300); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromBytesPanicsOnWrongSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromBytes with wrong size should panic")
+		}
+	}()
+	FromBytes(make([]byte, 100))
+}

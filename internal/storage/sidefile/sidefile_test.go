@@ -1,0 +1,142 @@
+package sidefile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/storage/media"
+	"repro/internal/storage/page"
+)
+
+func testSide(t *testing.T) *File {
+	t.Helper()
+	s, err := Create(filepath.Join(t.TempDir(), "snap.side"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func pageWith(fill byte) []byte {
+	b := make([]byte, page.Size)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestMissThenHit(t *testing.T) {
+	s := testSide(t)
+	buf := make([]byte, page.Size)
+	ok, err := s.ReadPage(7, buf)
+	if err != nil || ok {
+		t.Fatalf("fresh side file hit: ok=%v err=%v", ok, err)
+	}
+	if s.Has(7) {
+		t.Fatal("Has(7) before write")
+	}
+	if err := s.WritePage(7, pageWith('z')); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(7) || s.Len() != 1 {
+		t.Fatalf("Has=%v Len=%d after write", s.Has(7), s.Len())
+	}
+	ok, err = s.ReadPage(7, buf)
+	if err != nil || !ok {
+		t.Fatalf("hit failed: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(buf, pageWith('z')) {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestOverwriteKeepsSingleExtent(t *testing.T) {
+	s := testSide(t)
+	s.WritePage(3, pageWith('a'))
+	s.WritePage(3, pageWith('b'))
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", s.Len())
+	}
+	buf := make([]byte, page.Size)
+	s.ReadPage(3, buf)
+	if buf[0] != 'b' {
+		t.Fatal("overwrite content lost")
+	}
+}
+
+func TestPagesListing(t *testing.T) {
+	s := testSide(t)
+	for _, id := range []page.ID{5, 1, 9} {
+		s.WritePage(id, pageWith(byte(id)))
+	}
+	ids := s.Pages()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 5 || ids[2] != 9 {
+		t.Fatalf("Pages() = %v", ids)
+	}
+}
+
+func TestCloseRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.side")
+	s, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WritePage(1, pageWith('q'))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("side file not removed: %v", err)
+	}
+}
+
+func TestChargesDevice(t *testing.T) {
+	dev := media.New(media.SSD(), nil)
+	s, err := Create(filepath.Join(t.TempDir(), "c.side"), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.WritePage(1, pageWith('q'))
+	buf := make([]byte, page.Size)
+	s.ReadPage(1, buf)
+	if dev.Stats.RandWrites.Load() != 1 || dev.Stats.RandReads.Load() != 1 {
+		t.Fatalf("stats: %+v", dev.Stats.Snapshot())
+	}
+}
+
+func TestConcurrentWritersDistinctPages(t *testing.T) {
+	s := testSide(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id := page.ID(w*100 + i)
+				if err := s.WritePage(id, pageWith(byte(w))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 160 {
+		t.Fatalf("Len = %d, want 160", s.Len())
+	}
+	buf := make([]byte, page.Size)
+	for w := 0; w < 8; w++ {
+		ok, err := s.ReadPage(page.ID(w*100), buf)
+		if err != nil || !ok || buf[0] != byte(w) {
+			t.Fatalf("writer %d page lost: ok=%v err=%v b=%d", w, ok, err, buf[0])
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package tpcc implements the scaled-down TPC-C-like benchmark the paper
+// uses for its evaluation (§6): the nine TPC-C tables, the five transaction
+// types in the standard mix, a loader, and a multi-client driver. The paper
+// ran 800 warehouses over 40 GB; this reproduction defaults to laptop-scale
+// parameters while exercising exactly the same code paths (logging,
+// checkpoints, splits, allocation), and the driver advances a virtual wall
+// clock so "N minutes of history" is deterministic.
+package tpcc
+
+import (
+	"fmt"
+
+	"repro/internal/row"
+)
+
+// Config holds the workload scale parameters.
+type Config struct {
+	Warehouses    int // paper: 800; default 2
+	DistrictsPerW int // 10, as in the paper
+	CustomersPerD int // paper: 3000; default 30
+	Items         int // paper: 100000; default 200
+	StockPerW     int // = Items
+	// OrderLinesMin/Max per new order (TPC-C: 5..15).
+	OrderLinesMin, OrderLinesMax int
+	// AbortPercent of NewOrder transactions roll back (TPC-C: 1%).
+	AbortPercent int
+	// Seed for the deterministic random streams.
+	Seed int64
+}
+
+// DefaultConfig returns the scaled-down defaults.
+func DefaultConfig() Config {
+	return Config{
+		Warehouses:    2,
+		DistrictsPerW: 10,
+		CustomersPerD: 30,
+		Items:         200,
+		OrderLinesMin: 5,
+		OrderLinesMax: 15,
+		AbortPercent:  1,
+		Seed:          42,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Warehouses <= 0 {
+		c.Warehouses = d.Warehouses
+	}
+	if c.DistrictsPerW <= 0 {
+		c.DistrictsPerW = d.DistrictsPerW
+	}
+	if c.CustomersPerD <= 0 {
+		c.CustomersPerD = d.CustomersPerD
+	}
+	if c.Items <= 0 {
+		c.Items = d.Items
+	}
+	if c.StockPerW <= 0 {
+		c.StockPerW = c.Items
+	}
+	if c.OrderLinesMin <= 0 {
+		c.OrderLinesMin = d.OrderLinesMin
+	}
+	if c.OrderLinesMax < c.OrderLinesMin {
+		c.OrderLinesMax = d.OrderLinesMax
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// Table names.
+const (
+	TableItem      = "item"
+	TableWarehouse = "warehouse"
+	TableStock     = "stock"
+	TableDistrict  = "district"
+	TableCustomer  = "customer"
+	TableHistory   = "history"
+	TableOrders    = "orders"
+	TableNewOrder  = "new_order"
+	TableOrderLine = "order_line"
+)
+
+// Schemas returns the nine TPC-C table schemas. Column sets are trimmed to
+// the fields the five transactions touch, keeping row sizes representative.
+func Schemas() []*row.Schema {
+	i64 := func(n string) row.Column { return row.Column{Name: n, Kind: row.KindInt64} }
+	f64 := func(n string) row.Column { return row.Column{Name: n, Kind: row.KindFloat64} }
+	str := func(n string) row.Column { return row.Column{Name: n, Kind: row.KindString} }
+	tim := func(n string) row.Column { return row.Column{Name: n, Kind: row.KindTime} }
+	return []*row.Schema{
+		{Name: TableItem, KeyCols: 1, Columns: []row.Column{
+			i64("i_id"), str("i_name"), f64("i_price"), str("i_data"),
+		}},
+		{Name: TableWarehouse, KeyCols: 1, Columns: []row.Column{
+			i64("w_id"), str("w_name"), str("w_street"), str("w_city"),
+			str("w_state"), str("w_zip"), f64("w_tax"), f64("w_ytd"),
+		}},
+		{Name: TableStock, KeyCols: 2, Columns: []row.Column{
+			i64("s_w_id"), i64("s_i_id"), i64("s_quantity"), f64("s_ytd"),
+			i64("s_order_cnt"), i64("s_remote_cnt"), str("s_data"),
+		}},
+		{Name: TableDistrict, KeyCols: 2, Columns: []row.Column{
+			i64("d_w_id"), i64("d_id"), str("d_name"), f64("d_tax"),
+			f64("d_ytd"), i64("d_next_o_id"),
+		}},
+		{Name: TableCustomer, KeyCols: 3, Columns: []row.Column{
+			i64("c_w_id"), i64("c_d_id"), i64("c_id"), str("c_first"),
+			str("c_last"), f64("c_balance"), f64("c_ytd_payment"),
+			i64("c_payment_cnt"), i64("c_delivery_cnt"), str("c_data"),
+		}},
+		{Name: TableHistory, KeyCols: 1, Columns: []row.Column{
+			i64("h_id"), i64("h_w_id"), i64("h_d_id"), i64("h_c_id"),
+			f64("h_amount"), tim("h_date"), str("h_data"),
+		}},
+		{Name: TableOrders, KeyCols: 3, Columns: []row.Column{
+			i64("o_w_id"), i64("o_d_id"), i64("o_id"), i64("o_c_id"),
+			tim("o_entry_d"), i64("o_carrier_id"), i64("o_ol_cnt"),
+		}},
+		{Name: TableNewOrder, KeyCols: 3, Columns: []row.Column{
+			i64("no_w_id"), i64("no_d_id"), i64("no_o_id"),
+		}},
+		{Name: TableOrderLine, KeyCols: 4, Columns: []row.Column{
+			i64("ol_w_id"), i64("ol_d_id"), i64("ol_o_id"), i64("ol_number"),
+			i64("ol_i_id"), i64("ol_supply_w_id"), i64("ol_quantity"),
+			f64("ol_amount"), tim("ol_delivery_d"), str("ol_dist_info"),
+		}},
+	}
+}
+
+func keyWID(w int) row.Row { return row.Row{row.Int64(int64(w))} }
+
+func keyWD(w, d int) row.Row {
+	return row.Row{row.Int64(int64(w)), row.Int64(int64(d))}
+}
+
+func keyWDC(w, d, c int) row.Row {
+	return row.Row{row.Int64(int64(w)), row.Int64(int64(d)), row.Int64(int64(c))}
+}
+
+func keyItem(i int) row.Row { return row.Row{row.Int64(int64(i))} }
+
+func keyStock(w, i int) row.Row {
+	return row.Row{row.Int64(int64(w)), row.Int64(int64(i))}
+}
+
+func keyOrder(w, d, o int) row.Row {
+	return row.Row{row.Int64(int64(w)), row.Int64(int64(d)), row.Int64(int64(o))}
+}
+
+func keyOrderLine(w, d, o, n int) row.Row {
+	return row.Row{row.Int64(int64(w)), row.Int64(int64(d)), row.Int64(int64(o)), row.Int64(int64(n))}
+}
+
+func fmtData(kind string, n int) string {
+	return fmt.Sprintf("%s-data-%06d-%s", kind, n, padding)
+}
+
+// padding keeps row sizes representative of TPC-C's filler columns.
+const padding = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"

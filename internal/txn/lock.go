@@ -1,0 +1,371 @@
+// Package txn provides the lock manager of §2.1: multi-granularity locks
+// (intention and plain shared/exclusive modes) on tables and rows, with FIFO
+// queuing and wait-for-graph deadlock detection. Transactions acquire row
+// locks as they read and update and hold them to commit (strict two-phase
+// locking), and the as-of snapshot recovery reacquires the locks of
+// transactions that were in flight at the SplitLSN so queries never observe
+// their uncommitted effects (§5.2).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mode is a lock mode. The engine uses the standard multi-granularity
+// protocol: row readers take IS on the table and S on the row; row writers
+// take IX on the table and X on the row; scans take S on the table; DDL
+// takes X on the table.
+type Mode uint8
+
+const (
+	// IntentShared declares row-level shared locks below.
+	IntentShared Mode = iota
+	// IntentExclusive declares row-level exclusive locks below.
+	IntentExclusive
+	// Shared allows concurrent readers of the whole resource.
+	Shared
+	// SharedIntentExclusive is Shared plus IntentExclusive (read all,
+	// update some).
+	SharedIntentExclusive
+	// Exclusive allows a single owner.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case IntentShared:
+		return "IS"
+	case IntentExclusive:
+		return "IX"
+	case Shared:
+		return "S"
+	case SharedIntentExclusive:
+		return "SIX"
+	case Exclusive:
+		return "X"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// compat is the standard multi-granularity compatibility matrix.
+var compat = [5][5]bool{
+	//              IS     IX     S      SIX    X
+	IntentShared:          {true, true, true, true, false},
+	IntentExclusive:       {true, true, false, false, false},
+	Shared:                {true, false, true, false, false},
+	SharedIntentExclusive: {true, false, false, false, false},
+	Exclusive:             {false, false, false, false, false},
+}
+
+// Compatible reports whether two modes may be held simultaneously.
+func Compatible(a, b Mode) bool { return compat[a][b] }
+
+// covers reports whether holding h satisfies a request for w.
+func covers(h, w Mode) bool {
+	if h == w || h == Exclusive {
+		return true
+	}
+	switch h {
+	case SharedIntentExclusive:
+		return w == Shared || w == IntentExclusive || w == IntentShared
+	case Shared, IntentExclusive:
+		return w == IntentShared
+	}
+	return false
+}
+
+// sup returns the least mode covering both a and b.
+func sup(a, b Mode) Mode {
+	if covers(a, b) {
+		return a
+	}
+	if covers(b, a) {
+		return b
+	}
+	// The only non-trivially-ordered pairs resolve to SIX or X.
+	if (a == Shared && b == IntentExclusive) || (a == IntentExclusive && b == Shared) {
+		return SharedIntentExclusive
+	}
+	if a == SharedIntentExclusive || b == SharedIntentExclusive {
+		return SharedIntentExclusive
+	}
+	return Exclusive
+}
+
+// Key identifies a lockable resource: a whole object (table/index) when Row
+// is empty, otherwise a row within the object.
+type Key struct {
+	Object uint32
+	Row    string
+}
+
+func (k Key) String() string {
+	if k.Row == "" {
+		return fmt.Sprintf("obj(%d)", k.Object)
+	}
+	return fmt.Sprintf("obj(%d)/row(%x)", k.Object, k.Row)
+}
+
+// ErrDeadlock is returned to the victim of a deadlock; the caller should
+// roll the transaction back and may retry it.
+var ErrDeadlock = errors.New("txn: deadlock detected")
+
+// ErrLockTimeout is returned when a lock wait exceeds the manager's timeout.
+var ErrLockTimeout = errors.New("txn: lock wait timeout")
+
+type waiter struct {
+	txn   uint64
+	mode  Mode // effective requested mode (sup of held and wanted)
+	ready chan error
+}
+
+type lockState struct {
+	holders map[uint64]Mode
+	queue   []*waiter
+}
+
+// LockManager grants and queues locks. Use NewLockManager.
+type LockManager struct {
+	mu      sync.Mutex
+	locks   map[Key]*lockState
+	held    map[uint64]map[Key]Mode
+	waitFor map[uint64]Key
+	timeout time.Duration
+}
+
+// NewLockManager creates a lock manager. timeout bounds lock waits
+// (0 means a generous default).
+func NewLockManager(timeout time.Duration) *LockManager {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &LockManager{
+		locks:   make(map[Key]*lockState),
+		held:    make(map[uint64]map[Key]Mode),
+		waitFor: make(map[uint64]Key),
+		timeout: timeout,
+	}
+}
+
+// Lock acquires key in the given mode for txnID, blocking behind
+// incompatible holders. Re-acquiring a covered lock is a no-op; otherwise
+// the request is for the supremum of the held and wanted modes (upgrade).
+// Deadlocks abort the requester with ErrDeadlock.
+func (lm *LockManager) Lock(txnID uint64, key Key, mode Mode) error {
+	lm.mu.Lock()
+	st := lm.locks[key]
+	if st == nil {
+		st = &lockState{holders: make(map[uint64]Mode)}
+		lm.locks[key] = st
+	}
+	want := mode
+	if held, ok := st.holders[txnID]; ok {
+		if covers(held, mode) {
+			lm.mu.Unlock()
+			return nil
+		}
+		want = sup(held, mode)
+	}
+	if lm.grantableLocked(st, txnID, want) {
+		st.holders[txnID] = want
+		lm.noteHeld(txnID, key, want)
+		lm.mu.Unlock()
+		return nil
+	}
+
+	w := &waiter{txn: txnID, mode: want, ready: make(chan error, 1)}
+	st.queue = append(st.queue, w)
+	lm.waitFor[txnID] = key
+	if lm.deadlockLocked(txnID) {
+		lm.removeWaiterLocked(st, w)
+		delete(lm.waitFor, txnID)
+		lm.mu.Unlock()
+		return fmt.Errorf("%w: txn %d on %v (%v)", ErrDeadlock, txnID, key, want)
+	}
+	lm.mu.Unlock()
+
+	select {
+	case err := <-w.ready:
+		return err
+	case <-time.After(lm.timeout):
+		lm.mu.Lock()
+		select {
+		case err := <-w.ready: // the grant raced the timeout
+			lm.mu.Unlock()
+			return err
+		default:
+		}
+		lm.removeWaiterLocked(st, w)
+		delete(lm.waitFor, txnID)
+		lm.mu.Unlock()
+		return fmt.Errorf("%w: txn %d on %v (%v)", ErrLockTimeout, txnID, key, want)
+	}
+}
+
+// grantableLocked reports whether txnID may take key in mode right now:
+// all other holders must be compatible and no conflicting waiter may be
+// queued (FIFO fairness, prevents writer starvation).
+func (lm *LockManager) grantableLocked(st *lockState, txnID uint64, mode Mode) bool {
+	for holder, hm := range st.holders {
+		if holder == txnID {
+			continue
+		}
+		if !Compatible(hm, mode) {
+			return false
+		}
+	}
+	for _, w := range st.queue {
+		if w.txn == txnID {
+			continue
+		}
+		if !Compatible(w.mode, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (lm *LockManager) noteHeld(txnID uint64, key Key, mode Mode) {
+	m := lm.held[txnID]
+	if m == nil {
+		m = make(map[Key]Mode)
+		lm.held[txnID] = m
+	}
+	if cur, ok := m[key]; ok {
+		m[key] = sup(cur, mode)
+	} else {
+		m[key] = mode
+	}
+	delete(lm.waitFor, txnID)
+}
+
+func (lm *LockManager) removeWaiterLocked(st *lockState, w *waiter) {
+	for i, q := range st.queue {
+		if q == w {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// grantQueuedLocked wakes queue heads that can now be granted.
+func (lm *LockManager) grantQueuedLocked(key Key, st *lockState) {
+	for len(st.queue) > 0 {
+		w := st.queue[0]
+		ok := true
+		for holder, hm := range st.holders {
+			if holder == w.txn {
+				continue // upgrade in progress
+			}
+			if !Compatible(hm, w.mode) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+		st.queue = st.queue[1:]
+		st.holders[w.txn] = sup(st.holders[w.txn], w.mode)
+		lm.noteHeld(w.txn, key, w.mode)
+		w.ready <- nil
+	}
+}
+
+// ReleaseAll releases every lock held by txnID (commit/abort time — strict
+// two-phase locking) and wakes any unblocked waiters.
+func (lm *LockManager) ReleaseAll(txnID uint64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for key := range lm.held[txnID] {
+		st := lm.locks[key]
+		if st == nil {
+			continue
+		}
+		delete(st.holders, txnID)
+		lm.grantQueuedLocked(key, st)
+		if len(st.holders) == 0 && len(st.queue) == 0 {
+			delete(lm.locks, key)
+		}
+	}
+	delete(lm.held, txnID)
+	delete(lm.waitFor, txnID)
+}
+
+// Held returns the number of locks held by txnID.
+func (lm *LockManager) Held(txnID uint64) int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return len(lm.held[txnID])
+}
+
+// HeldMode returns the mode txnID holds on key, if any.
+func (lm *LockManager) HeldMode(txnID uint64, key Key) (Mode, bool) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	m, ok := lm.held[txnID][key]
+	return m, ok
+}
+
+// deadlockLocked detects whether txnID waiting on its queued key closes a
+// cycle in the wait-for graph.
+func (lm *LockManager) deadlockLocked(start uint64) bool {
+	visited := make(map[uint64]bool)
+	var dfs func(t uint64) bool
+	dfs = func(t uint64) bool {
+		key, waiting := lm.waitFor[t]
+		if !waiting {
+			return false
+		}
+		st := lm.locks[key]
+		if st == nil {
+			return false
+		}
+		var mode Mode
+		for _, w := range st.queue {
+			if w.txn == t {
+				mode = w.mode
+				break
+			}
+		}
+		check := func(other uint64) bool {
+			if other == t {
+				return false
+			}
+			if other == start {
+				return true
+			}
+			if visited[other] {
+				return false
+			}
+			visited[other] = true
+			return dfs(other)
+		}
+		for holder, hm := range st.holders {
+			if holder == t {
+				continue
+			}
+			if !Compatible(hm, mode) {
+				if check(holder) {
+					return true
+				}
+			}
+		}
+		for _, w := range st.queue {
+			if w.txn == t {
+				break
+			}
+			if !Compatible(w.mode, mode) {
+				if check(w.txn) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}

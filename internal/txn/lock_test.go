@@ -1,0 +1,319 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	lm := NewLockManager(time.Second)
+	k := Key{Object: 1, Row: "r1"}
+	if err := lm.Lock(1, k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Lock(2, k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if lm.Held(1) != 1 || lm.Held(2) != 1 {
+		t.Fatal("both txns should hold the shared lock")
+	}
+}
+
+func TestExclusiveBlocksShared(t *testing.T) {
+	lm := NewLockManager(time.Second)
+	k := Key{Object: 1, Row: "r1"}
+	if err := lm.Lock(1, k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- lm.Lock(2, k, Shared) }()
+	select {
+	case <-acquired:
+		t.Fatal("shared lock granted while exclusive held")
+	case <-time.After(30 * time.Millisecond):
+	}
+	lm.ReleaseAll(1)
+	if err := <-acquired; err != nil {
+		t.Fatalf("waiter not granted after release: %v", err)
+	}
+}
+
+func TestReentrantAcquire(t *testing.T) {
+	lm := NewLockManager(time.Second)
+	k := Key{Object: 1, Row: "r1"}
+	for i := 0; i < 3; i++ {
+		if err := lm.Lock(1, k, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lm.Held(1) != 1 {
+		t.Fatalf("Held = %d, want 1 (reentrant)", lm.Held(1))
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	lm := NewLockManager(time.Second)
+	k := Key{Object: 1, Row: "r1"}
+	if err := lm.Lock(1, k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Lock(1, k, Exclusive); err != nil {
+		t.Fatalf("upgrade as sole holder should succeed: %v", err)
+	}
+	// Now another shared request must block.
+	granted := make(chan error, 1)
+	go func() { granted <- lm.Lock(2, k, Shared) }()
+	select {
+	case <-granted:
+		t.Fatal("shared granted despite upgraded exclusive")
+	case <-time.After(30 * time.Millisecond):
+	}
+	lm.ReleaseAll(1)
+	<-granted
+}
+
+func TestDowngradeRequestIsNoOp(t *testing.T) {
+	lm := NewLockManager(time.Second)
+	k := Key{Object: 1, Row: "r1"}
+	lm.Lock(1, k, Exclusive)
+	if err := lm.Lock(1, k, Shared); err != nil {
+		t.Fatalf("shared request while holding exclusive: %v", err)
+	}
+}
+
+func TestFIFOWriterNotStarved(t *testing.T) {
+	lm := NewLockManager(2 * time.Second)
+	k := Key{Object: 1, Row: "hot"}
+	lm.Lock(1, k, Shared)
+	writerDone := make(chan error, 1)
+	go func() { writerDone <- lm.Lock(2, k, Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	// A new shared request must queue behind the exclusive waiter.
+	readerDone := make(chan error, 1)
+	go func() { readerDone <- lm.Lock(3, k, Shared) }()
+	select {
+	case <-readerDone:
+		t.Fatal("late reader overtook queued writer")
+	case <-time.After(30 * time.Millisecond):
+	}
+	lm.ReleaseAll(1)
+	if err := <-writerDone; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	lm.ReleaseAll(2)
+	if err := <-readerDone; err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	lm := NewLockManager(5 * time.Second)
+	a := Key{Object: 1, Row: "a"}
+	b := Key{Object: 1, Row: "b"}
+	if err := lm.Lock(1, a, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Lock(2, b, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	step := make(chan error, 1)
+	go func() { step <- lm.Lock(1, b, Exclusive) }() // 1 waits on 2
+	time.Sleep(30 * time.Millisecond)
+	err := lm.Lock(2, a, Exclusive) // closes the cycle
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	lm.ReleaseAll(2) // victim rolls back
+	if err := <-step; err != nil {
+		t.Fatalf("survivor not granted: %v", err)
+	}
+}
+
+func TestDeadlockViaUpgrade(t *testing.T) {
+	lm := NewLockManager(5 * time.Second)
+	k := Key{Object: 1, Row: "r"}
+	lm.Lock(1, k, Shared)
+	lm.Lock(2, k, Shared)
+	step := make(chan error, 1)
+	go func() { step <- lm.Lock(1, k, Exclusive) }() // waits for 2 to release
+	time.Sleep(30 * time.Millisecond)
+	err := lm.Lock(2, k, Exclusive) // both upgrading: deadlock
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	lm.ReleaseAll(2)
+	if err := <-step; err != nil {
+		t.Fatalf("survivor upgrade failed: %v", err)
+	}
+}
+
+func TestLockTimeout(t *testing.T) {
+	lm := NewLockManager(50 * time.Millisecond)
+	k := Key{Object: 1, Row: "r"}
+	lm.Lock(1, k, Exclusive)
+	err := lm.Lock(2, k, Exclusive)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("err = %v, want ErrLockTimeout", err)
+	}
+	// The timed-out waiter must be gone from the queue.
+	lm.ReleaseAll(1)
+	if err := lm.Lock(3, k, Exclusive); err != nil {
+		t.Fatalf("lock after timeout cleanup: %v", err)
+	}
+}
+
+func TestReleaseAllWakesMultipleReaders(t *testing.T) {
+	lm := NewLockManager(time.Second)
+	k := Key{Object: 1, Row: "r"}
+	lm.Lock(1, k, Exclusive)
+	var granted atomic.Int32
+	var wg sync.WaitGroup
+	for i := uint64(2); i <= 5; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			if err := lm.Lock(id, k, Shared); err == nil {
+				granted.Add(1)
+			}
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond)
+	lm.ReleaseAll(1)
+	wg.Wait()
+	if granted.Load() != 4 {
+		t.Fatalf("granted %d readers after release, want 4", granted.Load())
+	}
+}
+
+func TestTableAndRowKeysAreDistinct(t *testing.T) {
+	lm := NewLockManager(time.Second)
+	table := Key{Object: 1}
+	row := Key{Object: 1, Row: "r"}
+	if err := lm.Lock(1, table, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Different resource: no conflict in this (non-hierarchical) manager.
+	if err := lm.Lock(2, row, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentTransfersStressWithDeadlockRetries(t *testing.T) {
+	// Bank-transfer style stress: random lock pairs in both orders.
+	lm := NewLockManager(2 * time.Second)
+	var wg sync.WaitGroup
+	var deadlocks atomic.Int32
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := uint64(w*1000 + i + 1)
+				a := Key{Object: 1, Row: string(rune('a' + (w+i)%4))}
+				b := Key{Object: 1, Row: string(rune('a' + (w+i+1)%4))}
+				err := lm.Lock(id, a, Exclusive)
+				if err == nil {
+					err = lm.Lock(id, b, Exclusive)
+				}
+				if err != nil {
+					deadlocks.Add(1)
+				}
+				lm.ReleaseAll(id)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress test hung: possible undetected deadlock")
+	}
+	t.Logf("deadlocks/timeouts resolved: %d", deadlocks.Load())
+}
+
+func TestIntentModesCompatibility(t *testing.T) {
+	lm := NewLockManager(50 * time.Millisecond)
+	table := Key{Object: 1}
+	// Two row writers coexist at table level via IX.
+	if err := lm.Lock(1, table, IntentExclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Lock(2, table, IntentExclusive); err != nil {
+		t.Fatal(err)
+	}
+	// A table scan (S) must wait for the writers.
+	if err := lm.Lock(3, table, Shared); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("S over IX should block: %v", err)
+	}
+	lm.ReleaseAll(1)
+	lm.ReleaseAll(2)
+	if err := lm.Lock(3, table, Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Row readers (IS) coexist with the scan.
+	if err := lm.Lock(4, table, IntentShared); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanThenWriteUpgradesToSIX(t *testing.T) {
+	lm := NewLockManager(50 * time.Millisecond)
+	table := Key{Object: 1}
+	if err := lm.Lock(1, table, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Lock(1, table, IntentExclusive); err != nil {
+		t.Fatalf("S + IX upgrade: %v", err)
+	}
+	if m, ok := lm.HeldMode(1, table); !ok || m != SharedIntentExclusive {
+		t.Fatalf("mode = %v ok=%v, want SIX", m, ok)
+	}
+	// SIX blocks other scans and other writers, allows IS.
+	if err := lm.Lock(2, table, Shared); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("S vs SIX: %v", err)
+	}
+	if err := lm.Lock(3, table, IntentExclusive); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("IX vs SIX: %v", err)
+	}
+	if err := lm.Lock(4, table, IntentShared); err != nil {
+		t.Fatalf("IS vs SIX: %v", err)
+	}
+}
+
+func TestCoversAndSup(t *testing.T) {
+	cases := []struct {
+		h, w  Mode
+		cover bool
+	}{
+		{Exclusive, Shared, true},
+		{Exclusive, IntentExclusive, true},
+		{SharedIntentExclusive, Shared, true},
+		{SharedIntentExclusive, IntentExclusive, true},
+		{Shared, IntentShared, true},
+		{IntentExclusive, IntentShared, true},
+		{Shared, IntentExclusive, false},
+		{IntentExclusive, Shared, false},
+		{IntentShared, Shared, false},
+	}
+	for _, c := range cases {
+		if covers(c.h, c.w) != c.cover {
+			t.Errorf("covers(%v, %v) = %v, want %v", c.h, c.w, !c.cover, c.cover)
+		}
+	}
+	if sup(Shared, IntentExclusive) != SharedIntentExclusive {
+		t.Error("sup(S, IX) != SIX")
+	}
+	if sup(IntentShared, Shared) != Shared {
+		t.Error("sup(IS, S) != S")
+	}
+	if sup(Shared, Exclusive) != Exclusive {
+		t.Error("sup(S, X) != X")
+	}
+	if sup(SharedIntentExclusive, IntentExclusive) != SharedIntentExclusive {
+		t.Error("sup(SIX, IX) != SIX")
+	}
+}

@@ -1,0 +1,276 @@
+package wal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage/page"
+)
+
+func freshLeaf() *page.Page {
+	p := page.New()
+	p.Format(1, page.TypeLeaf, 0)
+	return p
+}
+
+func TestRedoUndoInsert(t *testing.T) {
+	p := freshLeaf()
+	r := &Record{LSN: 10, Type: TypeInsert, PageID: 1, Slot: 0, NewData: []byte("hello")}
+	if err := Redo(p, r); err != nil {
+		t.Fatal(err)
+	}
+	if p.PageLSN() != 10 || p.NumSlots() != 1 {
+		t.Fatalf("after redo: lsn=%d slots=%d", p.PageLSN(), p.NumSlots())
+	}
+	if err := Undo(p, r); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSlots() != 0 {
+		t.Fatalf("after undo: slots=%d", p.NumSlots())
+	}
+}
+
+func TestRedoIsIdempotent(t *testing.T) {
+	p := freshLeaf()
+	r := &Record{LSN: 10, Type: TypeInsert, PageID: 1, Slot: 0, NewData: []byte("x")}
+	if err := Redo(p, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := Redo(p, r); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSlots() != 1 {
+		t.Fatalf("idempotent redo violated: %d slots", p.NumSlots())
+	}
+}
+
+func TestRedoUndoDeleteCarriesImage(t *testing.T) {
+	p := freshLeaf()
+	if err := p.InsertAt(0, []byte("victim")); err != nil {
+		t.Fatal(err)
+	}
+	p.SetPageLSN(5)
+	r := &Record{LSN: 10, Type: TypeDelete, PageID: 1, Slot: 0, OldData: []byte("victim")}
+	if err := Redo(p, r); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSlots() != 0 {
+		t.Fatal("delete redo did not remove record")
+	}
+	if err := Undo(p, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Get(0)
+	if err != nil || !bytes.Equal(got, []byte("victim")) {
+		t.Fatalf("undo did not restore deleted row: %q %v", got, err)
+	}
+}
+
+func TestRedoUndoUpdate(t *testing.T) {
+	p := freshLeaf()
+	p.InsertAt(0, []byte("aaa"))
+	p.SetPageLSN(5)
+	r := &Record{LSN: 10, Type: TypeUpdate, PageID: 1, Slot: 0, OldData: []byte("aaa"), NewData: []byte("bbbb")}
+	if err := Redo(p, r); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MustGet(0); !bytes.Equal(got, []byte("bbbb")) {
+		t.Fatalf("redo update = %q", got)
+	}
+	if err := Undo(p, r); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MustGet(0); !bytes.Equal(got, []byte("aaa")) {
+		t.Fatalf("undo update = %q", got)
+	}
+}
+
+func TestCLRUndoUsesCLRType(t *testing.T) {
+	// A CLR that compensated a delete (so the CLR re-inserted the row);
+	// physically undoing the CLR must remove the row again.
+	p := freshLeaf()
+	p.SetPageLSN(5)
+	clr := &Record{LSN: 20, Type: TypeCLR, CLRType: TypeInsert, PageID: 1, Slot: 0, NewData: []byte("resurrected")}
+	if err := Redo(p, clr); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSlots() != 1 {
+		t.Fatal("CLR redo should have inserted")
+	}
+	if err := Undo(p, clr); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSlots() != 0 {
+		t.Fatal("CLR undo should have removed the row")
+	}
+}
+
+func TestFormatRedoAndPreformatRestore(t *testing.T) {
+	// Build an old page with content, then simulate deallocation +
+	// re-allocation: preformat saves the old image, format wipes it.
+	old := freshLeaf()
+	old.InsertAt(0, []byte("precious old content"))
+	old.SetPageLSN(30)
+	oldImage := append([]byte(nil), old.Bytes()...)
+
+	pre := &Record{LSN: 40, Type: TypePreformat, PageID: 1, PrevPageLSN: 30, OldData: oldImage}
+	form := &Record{LSN: 50, Type: TypeFormat, PageID: 1, PrevPageLSN: 40, Extra: []byte{byte(page.TypeLeaf), 0}}
+
+	p := old.Clone()
+	if err := Redo(p, form); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSlots() != 0 || p.PageLSN() != 50 {
+		t.Fatalf("after format: slots=%d lsn=%d", p.NumSlots(), p.PageLSN())
+	}
+
+	// Undo format (no-op), then undo preformat (restores image).
+	if err := Undo(p, form); err != nil {
+		t.Fatal(err)
+	}
+	if err := Undo(p, pre); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MustGet(0); !bytes.Equal(got, []byte("precious old content")) {
+		t.Fatalf("preformat undo did not restore content: %q", got)
+	}
+	if p.PageLSN() != 30 {
+		t.Fatalf("restored image pageLSN = %d, want 30", p.PageLSN())
+	}
+}
+
+func TestImageRedoRestoresAndStampsChain(t *testing.T) {
+	src := freshLeaf()
+	src.InsertAt(0, []byte("imaged"))
+	src.SetPageLSN(60)
+	img := &Record{LSN: 70, Type: TypeImage, PageID: 1, PrevPageLSN: 60, PrevImageLSN: 0,
+		NewData: append([]byte(nil), src.Bytes()...)}
+
+	p := freshLeaf()
+	if err := Redo(p, img); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MustGet(0); !bytes.Equal(got, []byte("imaged")) {
+		t.Fatalf("image redo content = %q", got)
+	}
+	if p.LastImageLSN() != 70 || p.PageLSN() != 70 {
+		t.Fatalf("image redo stamps: img=%d lsn=%d", p.LastImageLSN(), p.PageLSN())
+	}
+	// Undo of an image record is a content no-op.
+	before := append([]byte(nil), p.Bytes()...)
+	if err := Undo(p, img); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, p.Bytes()) {
+		t.Fatal("image undo changed page content")
+	}
+}
+
+func TestAllocBitsRedoUndo(t *testing.T) {
+	p := page.New()
+	p.Format(2, page.TypeAllocMap, 0)
+	r := &Record{LSN: 10, Type: TypeAllocBits, PageID: 2, Slot: 17, OldData: []byte{0x00}, NewData: []byte{0x03}}
+	if err := Redo(p, r); err != nil {
+		t.Fatal(err)
+	}
+	if p.Bytes()[allocPayloadOffset+17] != 0x03 {
+		t.Fatal("allocbits redo did not set byte")
+	}
+	if err := Undo(p, r); err != nil {
+		t.Fatal(err)
+	}
+	if p.Bytes()[allocPayloadOffset+17] != 0x00 {
+		t.Fatal("allocbits undo did not restore byte")
+	}
+}
+
+func TestAllocBitsRangeCheck(t *testing.T) {
+	p := page.New()
+	p.Format(2, page.TypeAllocMap, 0)
+	r := &Record{LSN: 10, Type: TypeAllocBits, PageID: 2, Slot: 65000, OldData: []byte{0}, NewData: []byte{1}}
+	if err := Redo(p, r); err == nil {
+		t.Fatal("out-of-range alloc byte should fail")
+	}
+}
+
+// TestQuickUndoInvertsRedo: for random op sequences, applying redo forward
+// then undo in exact reverse order must reproduce the original page —
+// the invariant PreparePageAsOf (§4.1) relies on.
+func TestQuickUndoInvertsRedo(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := freshLeaf()
+		p.SetPageLSN(1)
+		var model [][]byte
+		original := append([]byte(nil), p.Bytes()...)
+		var applied []*Record
+		lsn := LSN(2)
+		for i := 0; i < 60; i++ {
+			var r *Record
+			switch op := rng.Intn(3); {
+			case op == 0 || len(model) == 0:
+				rec := make([]byte, 1+rng.Intn(64))
+				rng.Read(rec)
+				slot := rng.Intn(len(model) + 1)
+				r = &Record{LSN: lsn, Type: TypeInsert, PageID: 1, Slot: uint16(slot), NewData: rec}
+				model = append(model, nil)
+				copy(model[slot+1:], model[slot:])
+				model[slot] = rec
+			case op == 1:
+				slot := rng.Intn(len(model))
+				r = &Record{LSN: lsn, Type: TypeDelete, PageID: 1, Slot: uint16(slot),
+					OldData: model[slot]}
+				model = append(model[:slot], model[slot+1:]...)
+			default:
+				slot := rng.Intn(len(model))
+				rec := make([]byte, 1+rng.Intn(64))
+				rng.Read(rec)
+				r = &Record{LSN: lsn, Type: TypeUpdate, PageID: 1, Slot: uint16(slot),
+					OldData: model[slot], NewData: rec}
+				model[slot] = rec
+			}
+			if err := Redo(p, r); err != nil {
+				// Page full: drop this op from the model too and stop.
+				t.Logf("seed %d: stopping at op %d: %v", seed, i, err)
+				return true
+			}
+			applied = append(applied, r)
+			lsn++
+		}
+		for i := len(applied) - 1; i >= 0; i-- {
+			if err := Undo(p, applied[i]); err != nil {
+				t.Logf("seed %d: undo %d: %v", seed, i, err)
+				return false
+			}
+		}
+		// Logical comparison: undo restores the record sequence, though the
+		// physical heap layout may differ after compaction.
+		orig := page.FromBytes(original)
+		if p.NumSlots() != orig.NumSlots() {
+			t.Logf("seed %d: %d slots after undo-all, want %d", seed, p.NumSlots(), orig.NumSlots())
+			return false
+		}
+		for i := 0; i < p.NumSlots(); i++ {
+			if !bytes.Equal(p.MustGet(i), orig.MustGet(i)) {
+				t.Logf("seed %d: slot %d differs after undo-all", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedoRejectsNonPageRecords(t *testing.T) {
+	p := freshLeaf()
+	if err := Redo(p, &Record{LSN: 5, Type: TypeCommit, PageID: uint32(page.InvalidID)}); err == nil {
+		t.Fatal("redo of commit record should fail")
+	}
+	if err := Undo(p, &Record{LSN: 5, Type: TypeCommit}); err == nil {
+		t.Fatal("undo of commit record should fail")
+	}
+}

@@ -1,0 +1,334 @@
+// Package wal implements the ARIES-style write-ahead log described in §2 of
+// the paper, including the extensions of §4.2 that make page-oriented
+// physical undo possible:
+//
+//  1. every page-modifying record carries PrevPageLSN, back-linking the
+//     complete modification history of each page;
+//  2. preformat records written at page re-allocation store the prior page
+//     image, joining the new format chain to the old one (paper Figure 2);
+//  3. compensation log records (CLRs) carry undo information, so pages can
+//     be rewound across rolled-back transactions;
+//  4. structure-modification deletes carry the deleted row images;
+//  5. optional full page images every Nth modification, chained among
+//     themselves via PrevImageLSN so undo can skip log regions (§6.1).
+//
+// LSNs are byte offsets into the log plus one, so they are strictly
+// monotonic and a record can be fetched by LSN with a single random read.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// LSN is a log sequence number: the record's byte offset in the log plus 1.
+type LSN uint64
+
+// NilLSN means "no record".
+const NilLSN LSN = 0
+
+func (l LSN) String() string { return fmt.Sprintf("lsn:%d", uint64(l)) }
+
+// Type identifies the kind of a log record.
+type Type uint8
+
+const (
+	// Transaction control records.
+	TypeBegin  Type = 1 // transaction started; WallClock set
+	TypeCommit Type = 2 // transaction committed; WallClock set (used by SplitLSN search, §5.1)
+	TypeAbort  Type = 3 // rollback completed
+
+	// Page modification records (physiological: slot-granular within a page).
+	TypeInsert Type = 10 // NewData inserted at Slot
+	TypeDelete Type = 11 // record at Slot removed; OldData = deleted row image (§4.2 extension 3)
+	TypeUpdate Type = 12 // record at Slot: OldData -> NewData
+
+	// Page lifecycle records.
+	TypeFormat    Type = 20 // page formatted empty; Extra = [pageType, level]
+	TypePreformat Type = 21 // prior page image saved before re-allocation (§4.2 extension 1); OldData = full image
+	TypeImage     Type = 22 // periodic full page image (§6.1); NewData = full image; PrevImageLSN chains images
+
+	// Allocation map record: one byte of an allocation bitmap page changed.
+	TypeAllocBits Type = 30 // Slot = byte index within bitmap area; OldData/NewData = 1 byte each
+
+	// Compensation record written during rollback; carries undo info
+	// (§4.2 extension 2). CLRType holds the compensating operation's type.
+	TypeCLR Type = 40
+
+	// Checkpoints: flush-all checkpoint delimited by begin/end records.
+	// End carries WallClock, the active-transaction table, and a pointer to
+	// the previous checkpoint so the SplitLSN search (§5.1) can walk
+	// checkpoints backwards by wall-clock time.
+	TypeCheckpointBegin Type = 50
+	TypeCheckpointEnd   Type = 51
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeBegin:
+		return "begin"
+	case TypeCommit:
+		return "commit"
+	case TypeAbort:
+		return "abort"
+	case TypeInsert:
+		return "insert"
+	case TypeDelete:
+		return "delete"
+	case TypeUpdate:
+		return "update"
+	case TypeFormat:
+		return "format"
+	case TypePreformat:
+		return "preformat"
+	case TypeImage:
+		return "image"
+	case TypeAllocBits:
+		return "allocbits"
+	case TypeCLR:
+		return "clr"
+	case TypeCheckpointBegin:
+		return "ckpt-begin"
+	case TypeCheckpointEnd:
+		return "ckpt-end"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// NoPage marks records that do not modify a page.
+const NoPage uint32 = 0xFFFFFFFF
+
+// Record flags.
+const (
+	// FlagNTA marks records logged inside a nested top action (a B-Tree
+	// structure modification). A transaction chain cut mid-NTA — by a
+	// crash, a SplitLSN or a restore target landing between an SMO's
+	// records and its terminating dummy CLR — must undo these records
+	// physically (page-oriented), never logically: they include row moves
+	// and internal-node separators that logical undo cannot re-locate.
+	FlagNTA uint8 = 1 << 0
+)
+
+// Record is a single log record. Fields irrelevant to a record's Type are
+// left at their zero values and encode compactly.
+type Record struct {
+	// LSN is assigned by Manager.Append and not serialized in the body.
+	LSN LSN
+
+	Type  Type
+	TxnID uint64 // 0 = system transaction outside any user transaction
+
+	// PrevLSN links the previous record of the same transaction (undo chain).
+	PrevLSN LSN
+
+	// PageID and ObjectID locate the modification: PageID is the page
+	// modified, ObjectID the root page of the B-Tree it belongs to (used by
+	// logical undo to re-locate rows that may have moved between pages).
+	PageID   uint32
+	ObjectID uint32
+
+	// PrevPageLSN is the page's pageLSN before this modification: the
+	// per-page chain PreparePageAsOf walks backwards (§4.1).
+	PrevPageLSN LSN
+
+	// UndoNextLSN, on CLRs, is the next record of the transaction to undo.
+	UndoNextLSN LSN
+
+	// PrevImageLSN, on TypeImage records, links the previous full image of
+	// the same page (the skip chain of §6.1).
+	PrevImageLSN LSN
+
+	// CLRType, on CLRs, is the page-operation type this CLR performs
+	// (insert/delete/update), with Slot/OldData/NewData as for that type.
+	CLRType Type
+
+	// Flags carries FlagNTA and future modifiers.
+	Flags uint8
+
+	// Slot is the slot index for page operations, or the byte index for
+	// allocation bitmap changes.
+	Slot uint16
+
+	// WallClock is the commit / begin / checkpoint wall-clock time in
+	// nanoseconds since the Unix epoch. The SplitLSN search (§5.1) maps a
+	// user-supplied time to an LSN using commit and checkpoint records.
+	WallClock int64
+
+	// OldData is the undo image; NewData the redo image; Extra carries
+	// type-specific metadata (format parameters, checkpoint payloads).
+	OldData []byte
+	NewData []byte
+	Extra   []byte
+}
+
+// Time returns WallClock as a time.Time.
+func (r *Record) Time() time.Time { return time.Unix(0, r.WallClock) }
+
+// IsPageOp reports whether the record modifies a page and participates in
+// the per-page chain.
+func (r *Record) IsPageOp() bool {
+	switch r.Type {
+	case TypeInsert, TypeDelete, TypeUpdate, TypeFormat, TypePreformat, TypeImage, TypeAllocBits, TypeCLR:
+		return true
+	}
+	return false
+}
+
+const recHeaderSize = 1 + 1 + 1 + 8 + 8 + 4 + 4 + 8 + 8 + 8 + 2 + 8 // fixed fields
+
+// marshaledSize returns the body size of the record (excluding framing).
+func (r *Record) marshaledSize() int {
+	return recHeaderSize + 4 + len(r.OldData) + 4 + len(r.NewData) + 4 + len(r.Extra)
+}
+
+// ApproxSize returns the record's on-disk footprint including framing.
+func (r *Record) ApproxSize() int { return r.marshaledSize() + frameHeader }
+
+// marshal appends the record body to dst and returns the extended slice.
+func (r *Record) marshal(dst []byte) []byte {
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		dst = append(dst, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:8], v)
+		dst = append(dst, tmp[:8]...)
+	}
+	dst = append(dst, byte(r.Type), byte(r.CLRType), r.Flags)
+	put64(r.TxnID)
+	put64(uint64(r.PrevLSN))
+	put32(r.PageID)
+	put32(r.ObjectID)
+	put64(uint64(r.PrevPageLSN))
+	put64(uint64(r.UndoNextLSN))
+	put64(uint64(r.PrevImageLSN))
+	binary.LittleEndian.PutUint16(tmp[:2], r.Slot)
+	dst = append(dst, tmp[:2]...)
+	put64(uint64(r.WallClock))
+	for _, b := range [][]byte{r.OldData, r.NewData, r.Extra} {
+		put32(uint32(len(b)))
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// unmarshal parses a record body. The returned record's byte slices alias
+// src; Manager.Read returns private copies.
+func unmarshal(src []byte) (*Record, error) {
+	if len(src) < recHeaderSize+12 {
+		return nil, fmt.Errorf("wal: record body too short: %d bytes", len(src))
+	}
+	r := &Record{}
+	r.Type = Type(src[0])
+	r.CLRType = Type(src[1])
+	r.Flags = src[2]
+	off := 3
+	get32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(src[off:])
+		off += 4
+		return v
+	}
+	get64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(src[off:])
+		off += 8
+		return v
+	}
+	r.TxnID = get64()
+	r.PrevLSN = LSN(get64())
+	r.PageID = get32()
+	r.ObjectID = get32()
+	r.PrevPageLSN = LSN(get64())
+	r.UndoNextLSN = LSN(get64())
+	r.PrevImageLSN = LSN(get64())
+	r.Slot = binary.LittleEndian.Uint16(src[off:])
+	off += 2
+	r.WallClock = int64(get64())
+	for _, dst := range []*[]byte{&r.OldData, &r.NewData, &r.Extra} {
+		if off+4 > len(src) {
+			return nil, fmt.Errorf("wal: truncated record body at %d", off)
+		}
+		n := int(get32())
+		if off+n > len(src) {
+			return nil, fmt.Errorf("wal: field of %d bytes overruns body", n)
+		}
+		if n > 0 {
+			*dst = src[off : off+n]
+		}
+		off += n
+	}
+	return r, nil
+}
+
+// frame layout: u32 bodyLen | u32 crc32(body) | body
+const frameHeader = 8
+
+func frame(dst []byte, r *Record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = r.marshal(dst)
+	body := dst[start+frameHeader:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(body))
+	return dst
+}
+
+// ATTEntry is one active transaction in a checkpoint's transaction table.
+type ATTEntry struct {
+	TxnID    uint64
+	LastLSN  LSN
+	BeginLSN LSN
+}
+
+// CheckpointData is the payload of a TypeCheckpointEnd record.
+type CheckpointData struct {
+	BeginLSN LSN // matching TypeCheckpointBegin record
+	PrevEnd  LSN // previous checkpoint's end record (0 = none)
+	ATT      []ATTEntry
+}
+
+// EncodeCheckpoint serializes d for Record.Extra.
+func EncodeCheckpoint(d CheckpointData) []byte {
+	buf := make([]byte, 0, 20+24*len(d.ATT))
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(uint64(d.BeginLSN))
+	put(uint64(d.PrevEnd))
+	put(uint64(len(d.ATT)))
+	for _, e := range d.ATT {
+		put(e.TxnID)
+		put(uint64(e.LastLSN))
+		put(uint64(e.BeginLSN))
+	}
+	return buf
+}
+
+// DecodeCheckpoint parses a TypeCheckpointEnd payload.
+func DecodeCheckpoint(b []byte) (CheckpointData, error) {
+	var d CheckpointData
+	if len(b) < 24 {
+		return d, fmt.Errorf("wal: checkpoint payload too short: %d", len(b))
+	}
+	get := func(off int) uint64 { return binary.LittleEndian.Uint64(b[off:]) }
+	d.BeginLSN = LSN(get(0))
+	d.PrevEnd = LSN(get(8))
+	n := int(get(16))
+	if len(b) != 24+24*n {
+		return d, fmt.Errorf("wal: checkpoint payload size %d for %d entries", len(b), n)
+	}
+	for i := 0; i < n; i++ {
+		off := 24 + 24*i
+		d.ATT = append(d.ATT, ATTEntry{
+			TxnID:    get(off),
+			LastLSN:  LSN(get(off + 8)),
+			BeginLSN: LSN(get(off + 16)),
+		})
+	}
+	return d, nil
+}

@@ -1,0 +1,356 @@
+package wal
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage/media"
+)
+
+func testManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := Open(filepath.Join(t.TempDir(), "test.wal"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestRecordMarshalRoundTrip(t *testing.T) {
+	r := &Record{
+		Type:         TypeUpdate,
+		TxnID:        42,
+		PrevLSN:      100,
+		PageID:       7,
+		ObjectID:     3,
+		PrevPageLSN:  90,
+		UndoNextLSN:  80,
+		PrevImageLSN: 70,
+		CLRType:      TypeInsert,
+		Slot:         5,
+		WallClock:    1234567890,
+		OldData:      []byte("old"),
+		NewData:      []byte("new"),
+		Extra:        []byte{1, 2},
+	}
+	body := r.marshal(nil)
+	if len(body) != r.marshaledSize() {
+		t.Fatalf("marshaled %d bytes, size() says %d", len(body), r.marshaledSize())
+	}
+	got, err := unmarshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.LSN = r.LSN
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(txn uint64, prev, ppl, unl, pil uint64, pid, oid uint32, slot uint16, wc int64, old, new_, extra []byte) bool {
+		r := &Record{
+			Type: TypeDelete, CLRType: TypeUpdate,
+			TxnID: txn, PrevLSN: LSN(prev), PageID: pid, ObjectID: oid,
+			PrevPageLSN: LSN(ppl), UndoNextLSN: LSN(unl), PrevImageLSN: LSN(pil),
+			Slot: slot, WallClock: wc, OldData: old, NewData: new_, Extra: extra,
+		}
+		got, err := unmarshal(r.marshal(nil))
+		if err != nil {
+			return false
+		}
+		// normalize empty vs nil slices
+		eq := func(a, b []byte) bool { return bytes.Equal(a, b) }
+		return got.TxnID == r.TxnID && got.PrevLSN == r.PrevLSN &&
+			got.PageID == r.PageID && got.ObjectID == r.ObjectID &&
+			got.PrevPageLSN == r.PrevPageLSN && got.UndoNextLSN == r.UndoNextLSN &&
+			got.PrevImageLSN == r.PrevImageLSN && got.Slot == r.Slot &&
+			got.WallClock == r.WallClock && eq(got.OldData, r.OldData) &&
+			eq(got.NewData, r.NewData) && eq(got.Extra, r.Extra)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := unmarshal(nil); err == nil {
+		t.Error("nil body should fail")
+	}
+	if _, err := unmarshal(make([]byte, 10)); err == nil {
+		t.Error("short body should fail")
+	}
+	// Valid header but field length overrunning the body.
+	r := &Record{Type: TypeInsert, NewData: []byte("abc")}
+	body := r.marshal(nil)
+	body = body[:len(body)-2]
+	if _, err := unmarshal(body); err == nil {
+		t.Error("truncated field should fail")
+	}
+}
+
+func TestAppendAssignsMonotonicLSNs(t *testing.T) {
+	m := testManager(t)
+	var last LSN
+	for i := 0; i < 100; i++ {
+		lsn, err := m.Append(&Record{Type: TypeBegin, TxnID: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn <= last {
+			t.Fatalf("LSN %v not > previous %v", lsn, last)
+		}
+		last = lsn
+	}
+	if m.NextLSN() <= last {
+		t.Fatalf("NextLSN %v not beyond last %v", m.NextLSN(), last)
+	}
+}
+
+func TestReadBackUnflushedAndFlushed(t *testing.T) {
+	m := testManager(t)
+	lsn1, _ := m.Append(&Record{Type: TypeBegin, TxnID: 1})
+	lsn2, _ := m.Append(&Record{Type: TypeInsert, TxnID: 1, PageID: 9, Slot: 3, NewData: []byte("row")})
+
+	// Read from the in-memory tail.
+	r, err := m.Read(lsn2)
+	if err != nil {
+		t.Fatalf("read unflushed: %v", err)
+	}
+	if r.Type != TypeInsert || r.PageID != 9 || string(r.NewData) != "row" {
+		t.Fatalf("unflushed read mismatch: %+v", r)
+	}
+
+	if err := m.Flush(lsn2); err != nil {
+		t.Fatal(err)
+	}
+	if m.FlushedLSN() < lsn2 {
+		t.Fatalf("FlushedLSN %v < %v", m.FlushedLSN(), lsn2)
+	}
+	r, err = m.Read(lsn1)
+	if err != nil {
+		t.Fatalf("read flushed: %v", err)
+	}
+	if r.Type != TypeBegin || r.TxnID != 1 {
+		t.Fatalf("flushed read mismatch: %+v", r)
+	}
+}
+
+func TestReadSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.wal")
+	m, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, _ := m.Append(&Record{Type: TypeCommit, TxnID: 5, WallClock: 999})
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	r, err := m2.Read(lsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Type != TypeCommit || r.TxnID != 5 || r.WallClock != 999 {
+		t.Fatalf("reopened read mismatch: %+v", r)
+	}
+	if m2.NextLSN() != m.NextLSN() {
+		t.Fatalf("NextLSN after reopen %v, want %v", m2.NextLSN(), m.NextLSN())
+	}
+}
+
+func TestScanOrderAndEarlyStop(t *testing.T) {
+	m := testManager(t)
+	var want []LSN
+	for i := 0; i < 20; i++ {
+		lsn, _ := m.Append(&Record{Type: TypeBegin, TxnID: uint64(i)})
+		want = append(want, lsn)
+	}
+	m.Flush(want[len(want)-1])
+
+	var got []LSN
+	err := m.Scan(1, func(r *Record) (bool, error) {
+		got = append(got, r.LSN)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scan order mismatch: got %v want %v", got, want)
+	}
+
+	// Scan from the middle.
+	got = got[:0]
+	if err := m.Scan(want[10], func(r *Record) (bool, error) {
+		got = append(got, r.LSN)
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want[10:]) {
+		t.Fatalf("mid scan mismatch: got %v want %v", got, want[10:])
+	}
+
+	// Early stop.
+	n := 0
+	if err := m.Scan(1, func(r *Record) (bool, error) {
+		n++
+		return n < 5, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("early stop visited %d, want 5", n)
+	}
+}
+
+func TestScanIncludesUnflushedTail(t *testing.T) {
+	m := testManager(t)
+	lsn, _ := m.Append(&Record{Type: TypeBegin, TxnID: 77})
+	seen := false
+	if err := m.Scan(1, func(r *Record) (bool, error) {
+		if r.LSN == lsn && r.TxnID == 77 {
+			seen = true
+		}
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !seen {
+		t.Fatal("scan did not reach unflushed tail record")
+	}
+}
+
+func TestTruncationBlocksOldReads(t *testing.T) {
+	m := testManager(t)
+	lsn1, _ := m.Append(&Record{Type: TypeBegin, TxnID: 1})
+	lsn2, _ := m.Append(&Record{Type: TypeBegin, TxnID: 2})
+	m.Flush(lsn2)
+	if err := m.Truncate(lsn2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(lsn1); err == nil {
+		t.Fatal("read below truncation point should fail")
+	}
+	if _, err := m.Read(lsn2); err != nil {
+		t.Fatalf("read at truncation point failed: %v", err)
+	}
+	if m.TruncationPoint() != lsn2 {
+		t.Fatalf("TruncationPoint = %v, want %v", m.TruncationPoint(), lsn2)
+	}
+	// Scans silently start at the truncation point.
+	var first LSN
+	m.Scan(1, func(r *Record) (bool, error) { first = r.LSN; return false, nil })
+	if first != lsn2 {
+		t.Fatalf("scan started at %v, want %v", first, lsn2)
+	}
+}
+
+func TestCheckpointPayloadRoundTrip(t *testing.T) {
+	d := CheckpointData{
+		BeginLSN: 123,
+		PrevEnd:  45,
+		ATT: []ATTEntry{
+			{TxnID: 1, LastLSN: 200, BeginLSN: 150},
+			{TxnID: 9, LastLSN: 300, BeginLSN: 40},
+		},
+	}
+	got, err := DecodeCheckpoint(EncodeCheckpoint(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("checkpoint round trip: got %+v want %+v", got, d)
+	}
+	if _, err := DecodeCheckpoint([]byte{1, 2, 3}); err == nil {
+		t.Error("short checkpoint payload should fail")
+	}
+	// Empty ATT.
+	d2 := CheckpointData{BeginLSN: 1}
+	got2, err := DecodeCheckpoint(EncodeCheckpoint(d2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.BeginLSN != 1 || len(got2.ATT) != 0 {
+		t.Fatalf("empty ATT round trip: %+v", got2)
+	}
+}
+
+func TestUndoReadsCountedOnCacheMiss(t *testing.T) {
+	dev := media.New(media.SSD(), nil)
+	m, err := Open(filepath.Join(t.TempDir(), "c.wal"), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var lsns []LSN
+	payload := make([]byte, 2048)
+	for i := 0; i < 200; i++ { // ~400 KiB, spanning multiple 32K blocks
+		lsn, _ := m.Append(&Record{Type: TypeInsert, PageID: 1, NewData: payload})
+		lsns = append(lsns, lsn)
+	}
+	m.Flush(lsns[len(lsns)-1])
+	m.InvalidateCache()
+	m.UndoReads.Store(0)
+
+	if _, err := m.Read(lsns[0]); err != nil {
+		t.Fatal(err)
+	}
+	miss1 := m.UndoReads.Load()
+	if miss1 == 0 {
+		t.Fatal("first read should miss the cache")
+	}
+	if _, err := m.Read(lsns[0]); err != nil {
+		t.Fatal(err)
+	}
+	if m.UndoReads.Load() != miss1 {
+		t.Fatalf("second read of same record should hit cache: %d -> %d", miss1, m.UndoReads.Load())
+	}
+	if dev.Stats.RandReads.Load() == 0 {
+		t.Fatal("device should have been charged random reads")
+	}
+}
+
+func TestScanStopsAtTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.wal")
+	m, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, _ := m.Append(&Record{Type: TypeBegin, TxnID: 1})
+	l2, _ := m.Append(&Record{Type: TypeBegin, TxnID: 2})
+	m.Flush(l2)
+	m.Close()
+
+	// Corrupt the second record's body.
+	mm, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	if _, err := mm.f.WriteAt([]byte{0xFF, 0xFF, 0xFF}, int64(l2-1)+frameHeader+3); err != nil {
+		t.Fatal(err)
+	}
+	var seen []LSN
+	if err := mm.Scan(1, func(r *Record) (bool, error) {
+		seen = append(seen, r.LSN)
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != l1 {
+		t.Fatalf("scan past torn tail: %v", seen)
+	}
+}
