@@ -8,8 +8,11 @@ package asofdb
 
 import (
 	"io"
+	"math/bits"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,6 +20,14 @@ import (
 	"repro/internal/storage/media"
 	"repro/internal/tpcc"
 )
+
+// commitBenchOptions builds the engine options for one BenchmarkCommitThroughput
+// arm. The serial arm disables the group-commit pipeline. The pool is sized
+// to hold the working set so the numbers measure the commit path, not
+// eviction I/O.
+func commitBenchOptions(serial bool) Options {
+	return Options{DisableGroupCommit: serial, BufferFrames: 8192}
+}
 
 // benchScale is the Figure 7-11 workload: the database must dwarf a
 // stock-level query's footprint (the paper used 40 GB / 800 warehouses;
@@ -174,6 +185,107 @@ func BenchmarkFig11UndoIO(b *testing.B) {
 		b.ReportMetric(float64(first.UndoIOs), "undo-ios-1min")
 		b.ReportMetric(float64(last.UndoIOs), "undo-ios-45min")
 		b.ReportMetric(float64(last.RecordsUndone), "recs-undone-45min")
+	}
+}
+
+// BenchmarkCommitThroughput measures raw commit throughput under parallel
+// committers — the workload the group-commit pipeline exists for. Each
+// iteration is one single-row transaction ended by a durable Commit. The
+// "group" arm uses the pipelined group-commit path; the "serial" arm forces
+// the log once per commit (the pre-pipeline behavior) for A/B comparison.
+func BenchmarkCommitThroughput(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"group", false}, {"serial", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := Open(b.TempDir(), commitBenchOptions(mode.serial))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			tx, err := db.Begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			schema := &Schema{
+				Name: "bench",
+				Columns: []Column{
+					{Name: "id", Kind: KindInt64},
+					{Name: "body", Kind: KindString},
+				},
+				KeyCols: 1,
+			}
+			if err := tx.CreateTable(schema); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			// Pre-populate so the timed region runs against a wide,
+			// steady-state tree instead of measuring the first few leaves'
+			// latch convoy while the tree grows from empty.
+			const preload = 50_000
+			for lo := 1; lo <= preload; lo += 1000 {
+				tx, err := db.Begin()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := lo; i < lo+1000 && i <= preload; i++ {
+					id := int64(bits.Reverse64(uint64(i)) >> 16)
+					if err := tx.Insert("bench", Row{Int64(id), String("payload")}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var ids atomic.Int64
+			ids.Store(preload)
+			var failed atomic.Int64
+			// 8 concurrent committers regardless of GOMAXPROCS: RunParallel
+			// spawns GOMAXPROCS×parallelism workers.
+			if p := 8 / runtime.GOMAXPROCS(0); p > 1 {
+				b.SetParallelism(p)
+			}
+			flushes0 := db.Log().Flushes.Load()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					// Bit-reverse the sequence number so concurrent
+					// committers land on different leaves instead of all
+					// appending to the rightmost one — commit throughput,
+					// not leaf-latch contention, is what's measured.
+					seq := uint64(ids.Add(1))
+					id := int64(bits.Reverse64(seq) >> 16)
+					tx, err := db.Begin()
+					if err != nil {
+						failed.Add(1)
+						return
+					}
+					if err := tx.Insert("bench", Row{Int64(id), String("payload")}); err != nil {
+						tx.Rollback()
+						failed.Add(1)
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						failed.Add(1)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if n := failed.Load(); n > 0 {
+				b.Fatalf("%d commits failed", n)
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N)/s, "commits/s")
+			}
+			if f := db.Log().Flushes.Load() - flushes0; f > 0 {
+				b.ReportMetric(float64(b.N)/float64(f), "commits/flush")
+			}
+		})
 	}
 }
 

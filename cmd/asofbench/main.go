@@ -24,12 +24,19 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, 11, 63, 64 or all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, 11, 63, 64, commit or all")
 		txns    = flag.Int("txns", 3000, "transactions of benchmark history")
 		clients = flag.Int("clients", 4, "concurrent benchmark clients")
 		items   = flag.Int("items", 6000, "TPC-C items (database size driver)")
 		scale   = flag.Int64("mediascale", 1000, "sequential-bandwidth scale-down for Figs 7-11 (see DESIGN.md)")
 		workdir = flag.String("dir", "", "working directory (default: temp)")
+
+		// -fig commit: group-commit pipeline A/B.
+		committers = flag.Int("committers", 8, "concurrent committers for -fig commit")
+		commitTxns = flag.Int("committxns", 50000, "transactions for -fig commit")
+		gcOff      = flag.Bool("gcoff", false, "run ONLY the serial (group-commit-disabled) arm of -fig commit")
+		gcDelay    = flag.Duration("gcdelay", 0, "group-commit linger delay (0 = yield-based batching)")
+		gcBytes    = flag.Int("gcbytes", 0, "group-commit max pending bytes before an early force (0 = default)")
 	)
 	flag.Parse()
 
@@ -98,6 +105,30 @@ func main() {
 		fmt.Printf("\n== §6.3: concurrent as-of query impact (%d txns, %d clients) ==\n", *txns, *clients)
 		if _, err := exp.Concurrent(dir+"/sec63", *txns, *clients, os.Stdout); err != nil {
 			fatal(err)
+		}
+	}
+
+	if wants("commit") {
+		fmt.Printf("\n== Commit pipeline: durable commit throughput at %d committers (A/B) ==\n", *committers)
+		opts := exp.CommitOptions{
+			Committers:          *committers,
+			Txns:                *commitTxns,
+			GroupCommitMaxDelay: *gcDelay,
+			GroupCommitMaxBytes: *gcBytes,
+		}
+		var serial, group exp.CommitResult
+		var err error
+		opts.DisableGroupCommit = true
+		if serial, err = exp.CommitThroughput(dir+"/commit-serial", opts, os.Stdout); err != nil {
+			fatal(err)
+		}
+		if !*gcOff {
+			opts.DisableGroupCommit = false
+			if group, err = exp.CommitThroughput(dir+"/commit-group", opts, os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("group/serial throughput ratio: %.2fx; batching factor %.2f commits/flush\n",
+				group.PerSec/serial.PerSec, group.PerFlush)
 		}
 	}
 

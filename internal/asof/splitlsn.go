@@ -44,7 +44,7 @@ func ResolveTime(db *engine.DB, target time.Time) (SplitPoint, error) {
 	targetNS := target.UnixNano()
 
 	// Phase 1 (§5.1): narrow by checkpoint wall-clock times.
-	ckptBegin, _, err := newestCheckpointNotAfter(db, targetNS)
+	ckptBegin, ckptEnd, err := newestCheckpointNotAfter(db, targetNS)
 	if err != nil {
 		return SplitPoint{}, err
 	}
@@ -65,47 +65,52 @@ func ResolveTime(db *engine.DB, target time.Time) (SplitPoint, error) {
 	if err != nil {
 		return SplitPoint{}, err
 	}
-	return resolveAt(db, split, ckptBegin)
+	return resolveAt(db, split, ckptBegin, ckptEnd)
 }
 
 // ResolveLSN builds a SplitPoint for an explicit LSN (used by tests and by
 // the point-in-time restore baseline).
 func ResolveLSN(db *engine.DB, split wal.LSN) (SplitPoint, error) {
-	ckptBegin, err := newestCheckpointNotAfterLSN(db, split)
+	ckptBegin, ckptEnd, err := newestCheckpointNotAfterLSN(db, split)
 	if err != nil {
 		return SplitPoint{}, err
 	}
-	return resolveAt(db, split, ckptBegin)
+	return resolveAt(db, split, ckptBegin, ckptEnd)
 }
 
 // resolveAt runs the analysis pass (§5.2): from the checkpoint to the
 // SplitLSN, rebuild the table of transactions in flight at the SplitLSN.
-func resolveAt(db *engine.DB, split, ckptBegin wal.LSN) (SplitPoint, error) {
+//
+// The ATT is seeded from the checkpoint-end record BEFORE the scan, exactly
+// like crash recovery's analysis: the checkpoint's ATT snapshot is taken
+// mid-checkpoint, so a transaction that committed between the snapshot and
+// the end record appears in the seed AND has a commit record inside the
+// scanned region — seeding first lets the scanned commit remove it. (The
+// old seed-when-scanned-past ordering re-added such transactions after
+// their commit had been processed, making snapshots undo committed work.)
+func resolveAt(db *engine.DB, split, ckptBegin, ckptEnd wal.LSN) (SplitPoint, error) {
 	att := make(map[uint64]*wal.ATTEntry)
 	var scanned int64
-	// Seed from the checkpoint-end record's ATT if the checkpoint
-	// completed before the split.
-	seedEnd := wal.NilLSN
+	if ckptEnd != wal.NilLSN && ckptEnd <= split {
+		rec, err := db.Log().Read(ckptEnd)
+		if err != nil {
+			return SplitPoint{}, fmt.Errorf("asof: checkpoint end %v: %w", ckptEnd, err)
+		}
+		data, err := wal.DecodeCheckpoint(rec.Extra)
+		if err != nil {
+			return SplitPoint{}, err
+		}
+		for i := range data.ATT {
+			e := data.ATT[i]
+			att[e.TxnID] = &e
+		}
+	}
 	err := db.Log().Scan(ckptBegin, func(rec *wal.Record) (bool, error) {
 		if rec.LSN > split {
 			return false, nil
 		}
 		scanned += int64(rec.ApproxSize())
 		switch rec.Type {
-		case wal.TypeCheckpointEnd:
-			data, err := wal.DecodeCheckpoint(rec.Extra)
-			if err != nil {
-				return false, err
-			}
-			if data.BeginLSN == ckptBegin && seedEnd == wal.NilLSN {
-				seedEnd = rec.LSN
-				for i := range data.ATT {
-					e := data.ATT[i]
-					if _, ok := att[e.TxnID]; !ok {
-						att[e.TxnID] = &e
-					}
-				}
-			}
 		case wal.TypeBegin:
 			att[rec.TxnID] = &wal.ATTEntry{TxnID: rec.TxnID, LastLSN: rec.LSN, BeginLSN: rec.LSN}
 		case wal.TypeCommit, wal.TypeAbort:
@@ -154,7 +159,7 @@ func newestCheckpointNotAfter(db *engine.DB, targetNS int64) (begin, end wal.LSN
 	return m.Begin, m.End, nil
 }
 
-func newestCheckpointNotAfterLSN(db *engine.DB, split wal.LSN) (wal.LSN, error) {
+func newestCheckpointNotAfterLSN(db *engine.DB, split wal.LSN) (begin, end wal.LSN, err error) {
 	marks := db.CheckpointIndex()
 	lo, hi := 0, len(marks) // first mark with End > split
 	for lo < hi {
@@ -166,7 +171,7 @@ func newestCheckpointNotAfterLSN(db *engine.DB, split wal.LSN) (wal.LSN, error) 
 		}
 	}
 	if lo == 0 {
-		return db.Log().TruncationPoint(), nil
+		return db.Log().TruncationPoint(), wal.NilLSN, nil
 	}
-	return marks[lo-1].Begin, nil
+	return marks[lo-1].Begin, marks[lo-1].End, nil
 }

@@ -42,7 +42,7 @@ func insertFast(st Store, root page.ID, key, rec []byte) (bool, error) {
 	if found {
 		return true, fmt.Errorf("%w: %x", ErrKeyExists, key)
 	}
-	if h.Page().FreeSpace() < len(rec)+8 {
+	if !h.Page().HasSpace(len(rec) + 8) {
 		return false, nil
 	}
 	return true, st.InsertRec(h, uint32(root), slot, rec)
@@ -57,7 +57,7 @@ func insertSlow(st Store, root page.ID, key, rec []byte) error {
 	if err != nil {
 		return err
 	}
-	if rh.Page().FreeSpace() < splitReserve {
+	if !rh.Page().HasSpace(splitReserve) {
 		if err := splitRoot(st, root, rh); err != nil {
 			rh.Release()
 			return err
@@ -72,7 +72,7 @@ func insertSlow(st Store, root page.ID, key, rec []byte) error {
 			cur.Release()
 			return err
 		}
-		if child.Page().FreeSpace() < splitReserve {
+		if !child.Page().HasSpace(splitReserve) {
 			// Split the child; its separator goes into cur, which has
 			// guaranteed reserve space. Then re-pick the descent child.
 			if err := splitChild(st, root, cur, idx, child); err != nil {

@@ -19,10 +19,32 @@ var ErrRowExists = errors.New("engine: row already exists")
 // ErrRowNotFound is returned when a referenced row does not exist.
 var ErrRowNotFound = errors.New("engine: row not found")
 
-// Table resolves a table by name through the catalog (read through the
-// buffer pool; metadata reads are latch-protected like any page reads).
+// Table resolves a table by name, served from the engine's catalog cache on
+// the hot path. Transactions that performed DDL read through uncached (they
+// must see their own uncommitted catalog changes without polluting the
+// cache); the cache is dropped whenever a DDL transaction finishes.
 func (tx *Txn) Table(name string) (catalog.Table, error) {
-	return catalog.LookupByName(tx, tx.db.Roots(), name)
+	if tx.didDDL {
+		return catalog.LookupByName(tx, tx.db.Roots(), name)
+	}
+	db := tx.db
+	db.idxMu.RLock()
+	t, ok := db.tblCache[name]
+	ver := db.catVer
+	db.idxMu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	t, err := catalog.LookupByName(tx, db.Roots(), name)
+	if err != nil {
+		return t, err
+	}
+	db.idxMu.Lock()
+	if db.catVer == ver {
+		db.tblCache[name] = t
+	}
+	db.idxMu.Unlock()
+	return t, nil
 }
 
 // Tables lists all user tables.
@@ -69,7 +91,7 @@ func (tx *Txn) DropTable(name string) error {
 	if err != nil {
 		return err
 	}
-	if err := tx.db.locks.Lock(tx.id, txn.Key{Object: t.ID}, txn.Exclusive); err != nil {
+	if err := tx.lockTable(t.ID, txn.Exclusive); err != nil {
 		return err
 	}
 	tx.didDDL = true
@@ -199,7 +221,7 @@ func (tx *Txn) Scan(table string, from, to row.Row, fn func(row.Row) bool) error
 	if err != nil {
 		return err
 	}
-	if err := tx.db.locks.Lock(tx.id, txn.Key{Object: t.ID}, txn.Shared); err != nil {
+	if err := tx.lockTable(t.ID, txn.Shared); err != nil {
 		return err
 	}
 	var fromKey, toKey []byte
@@ -234,13 +256,58 @@ func (tx *Txn) CountRows(table string, from, to row.Row) (int, error) {
 	return n, err
 }
 
+// Table-level locks are striped: intention modes (every row operation)
+// lock only the stripe picked by the transaction id, so concurrent DML on
+// the same table never serializes on one lock-manager entry; table-granular
+// S/X requests (scans, DDL) acquire every stripe, meeting each intent
+// holder at its stripe. The stripe row-key prefix cannot collide with real
+// encoded row keys on the same object because it is only ever locked with
+// Object == tableID where real row locks use the same namespace — the
+// 0xFF,0xFF prefix is outside row.EncodeKey's output alphabet for leading
+// bytes of sane schemas, and even a collision would only cost a spurious
+// wait, never a correctness violation.
+const tableStripes = 16
+
+// stripeRows are the interned stripe row-key suffixes (building them per
+// acquisition would put a string concatenation on every DML operation).
+var stripeRows = func() [tableStripes]string {
+	var rows [tableStripes]string
+	for i := range rows {
+		rows[i] = "\xff\xffstripe:" + string(rune('a'+i))
+	}
+	return rows
+}()
+
+func stripeKey(tableID uint32, stripe int) txn.Key {
+	return txn.Key{Object: tableID, Row: stripeRows[stripe]}
+}
+
+// lockTableIntent takes the striped intention lock on the table.
+func (tx *Txn) lockTableIntent(tableID uint32, intent txn.Mode) error {
+	return tx.db.locks.Lock(tx.id, stripeKey(tableID, int(tx.id%tableStripes)), intent)
+}
+
+// lockTable takes a table-granular lock (Shared for scans, Exclusive for
+// DDL): the whole-table key plus every stripe, in fixed order.
+func (tx *Txn) lockTable(tableID uint32, mode txn.Mode) error {
+	if err := tx.db.locks.Lock(tx.id, txn.Key{Object: tableID}, mode); err != nil {
+		return err
+	}
+	for i := 0; i < tableStripes; i++ {
+		if err := tx.db.locks.Lock(tx.id, stripeKey(tableID, i), mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // lockRow takes the intention lock on the table and the row lock.
 func (tx *Txn) lockRow(tableID uint32, key []byte, mode txn.Mode) error {
 	intent := txn.IntentShared
 	if mode == txn.Exclusive {
 		intent = txn.IntentExclusive
 	}
-	if err := tx.db.locks.Lock(tx.id, txn.Key{Object: tableID}, intent); err != nil {
+	if err := tx.lockTableIntent(tableID, intent); err != nil {
 		return err
 	}
 	return tx.db.locks.Lock(tx.id, txn.Key{Object: tableID, Row: string(key)}, mode)

@@ -52,6 +52,24 @@ type Options struct {
 	// (approximating the paper's target recovery interval).
 	CheckpointEvery int64
 
+	// GroupCommitMaxDelay bounds how long a commit may linger waiting for
+	// companion commits to share its log force. 0 (the default) adds no
+	// artificial delay — batching still arises from flush pipelining:
+	// commits arriving while a force is in flight are written together by
+	// the next one.
+	GroupCommitMaxDelay time.Duration
+	// GroupCommitMaxBytes forces the log early once this many bytes are
+	// pending, capping commit latency under heavy load even when a linger
+	// delay is configured. Default wal.DefaultGroupCommitMaxBytes.
+	GroupCommitMaxBytes int
+	// DisableGroupCommit makes Commit force the log immediately instead of
+	// entering the group-commit wait (the seed engine's behavior). A/B
+	// baseline for the commit pipeline. Note that with the default
+	// GroupCommitMaxDelay of 0 the two paths coincide — a commit's force
+	// can still be satisfied by a racing flush, as it could in the seed —
+	// so the arms only diverge once a linger delay is configured.
+	DisableGroupCommit bool
+
 	// Ablation switches (see DESIGN.md).
 	//
 	// DisableCLRUndoInfo strips undo information from CLRs, reverting §4.2
@@ -90,9 +108,9 @@ type DB struct {
 
 	locks *txn.LockManager
 
-	mu         sync.Mutex // guards txns, boot, treeLocks, ckpt bookkeeping
-	txns       map[uint64]*Txn
-	treeLocks  map[page.ID]*sync.RWMutex
+	mu         sync.Mutex // guards boot and ckpt bookkeeping
+	txns       [txnShards]txnShard
+	treeLocks  sync.Map // page.ID -> *sync.RWMutex; read-mostly after warmup
 	boot       bootBlock
 	lastCkptAt wal.LSN // log size when the last auto checkpoint ran
 	ckptIndex  []CkptMark
@@ -100,14 +118,56 @@ type DB struct {
 	allocMu   sync.Mutex // serializes page allocation
 	allocHint map[uint32]uint32
 
-	idxMu    sync.RWMutex // guards idxCache
+	idxMu    sync.RWMutex // guards idxCache, tblCache and catVer
 	idxCache map[uint32][]catalog.Index
+	tblCache map[string]catalog.Table
+	// catVer is bumped by every cache invalidation; cache fills are stamped
+	// with the version read before the (unlocked) catalog lookup and
+	// discarded if a DDL invalidated meanwhile — otherwise a racing fill
+	// could repopulate the cache with pre-DDL metadata forever.
+	catVer uint64
+
+	// commitGate makes the checkpoint's ATT capture atomic with respect to
+	// commit/abort record appends: enders hold it shared around the append
+	// (not the durability wait), the capture holds it exclusively. Without
+	// it, a committer parked in the group-commit pipeline between appending
+	// its commit record and flipping its state could be snapshotted as
+	// "active" even though its commit record precedes the checkpoint-end
+	// record — and snapshot recovery would undo a committed transaction.
+	commitGate sync.RWMutex
 
 	nextTxnID atomic.Uint64
 	closed    atomic.Bool
 
 	// CheckpointCount counts checkpoints taken (introspection for tests).
 	CheckpointCount atomic.Int64
+}
+
+// txnShards partitions the live-transaction registry so Begin/finish on
+// concurrent connections do not serialize on one engine-wide mutex; the
+// only full iteration is the checkpoint ATT snapshot.
+const txnShards = 16
+
+type txnShard struct {
+	mu   sync.Mutex
+	txns map[uint64]*Txn
+	_    [64 - 16]byte // avoid false sharing between neighboring shards
+}
+
+func (db *DB) txnShard(id uint64) *txnShard { return &db.txns[id%txnShards] }
+
+func (db *DB) registerTxn(t *Txn) {
+	s := db.txnShard(t.id)
+	s.mu.Lock()
+	s.txns[t.id] = t
+	s.mu.Unlock()
+}
+
+func (db *DB) unregisterTxn(id uint64) {
+	s := db.txnShard(id)
+	s.mu.Lock()
+	delete(s.txns, id)
+	s.mu.Unlock()
 }
 
 // bootBlock is the content of page 0, written directly (outside the WAL):
@@ -119,7 +179,10 @@ type bootBlock struct {
 	createdAt   int64
 }
 
-const bootMagic = "ASOFDB\x01\x00"
+// bootMagic's version byte was bumped to 2 when the WAL record encoding
+// switched to varints: a database written by the fixed-width build fails
+// Open with a clean "bad boot magic" instead of having its log misparsed.
+const bootMagic = "ASOFDB\x02\x00"
 
 // Open opens the database in dir, creating it if absent, and runs crash
 // recovery if needed.
@@ -137,16 +200,19 @@ func Open(dir string, opts Options) (*DB, error) {
 		data.Close()
 		return nil, err
 	}
+	logm.SetGroupCommit(opts.GroupCommitMaxDelay, opts.GroupCommitMaxBytes)
 	db := &DB{
 		opts:      opts,
 		dir:       dir,
 		data:      data,
 		log:       logm,
 		locks:     txn.NewLockManager(opts.LockTimeout),
-		txns:      make(map[uint64]*Txn),
-		treeLocks: make(map[page.ID]*sync.RWMutex),
 		allocHint: make(map[uint32]uint32),
 		idxCache:  make(map[uint32][]catalog.Index),
+		tblCache:  make(map[string]catalog.Table),
+	}
+	for i := range db.txns {
+		db.txns[i].txns = make(map[uint64]*Txn)
 	}
 	db.pool = buffer.New(buffer.Config{
 		Frames:    opts.BufferFrames,
@@ -418,26 +484,28 @@ func (db *DB) CreatedAt() time.Time {
 
 // treeLock returns the shared tree-level lock for a root.
 func (db *DB) treeLock(root page.ID) *sync.RWMutex {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	l, ok := db.treeLocks[root]
-	if !ok {
-		l = &sync.RWMutex{}
-		db.treeLocks[root] = l
+	if l, ok := db.treeLocks.Load(root); ok {
+		return l.(*sync.RWMutex)
 	}
-	return l
+	l, _ := db.treeLocks.LoadOrStore(root, &sync.RWMutex{})
+	return l.(*sync.RWMutex)
 }
 
 // ActiveTxns returns a snapshot of transactions that have logged anything,
 // as checkpoint ATT entries.
 func (db *DB) activeATT() []wal.ATTEntry {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.commitGate.Lock()
+	defer db.commitGate.Unlock()
 	var out []wal.ATTEntry
-	for _, t := range db.txns {
-		if t.begun && t.state == txnActive {
-			out = append(out, wal.ATTEntry{TxnID: t.id, LastLSN: t.lastLSN, BeginLSN: t.beginLSN})
+	for i := range db.txns {
+		s := &db.txns[i]
+		s.mu.Lock()
+		for _, t := range s.txns {
+			if t.begun.Load() && !t.endAppended.Load() && txnState(t.state.Load()) == txnActive {
+				out = append(out, wal.ATTEntry{TxnID: t.id, LastLSN: wal.LSN(t.lastLSN.Load()), BeginLSN: wal.LSN(t.beginLSN.Load())})
+			}
 		}
+		s.mu.Unlock()
 	}
 	return out
 }

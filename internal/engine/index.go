@@ -52,7 +52,7 @@ func (tx *Txn) CreateIndex(idxName, table string, columns ...string) error {
 		return err
 	}
 	// Backfill under a table-level shared lock.
-	if err := tx.db.locks.Lock(tx.id, txn.Key{Object: t.ID}, txn.Shared); err != nil {
+	if err := tx.lockTable(t.ID, txn.Shared); err != nil {
 		return err
 	}
 	var inner error
@@ -128,7 +128,7 @@ func (tx *Txn) ScanIndex(idxName string, vals row.Row, fn func(row.Row) bool) er
 	if err != nil {
 		return err
 	}
-	if err := tx.db.locks.Lock(tx.id, txn.Key{Object: t.ID}, txn.Shared); err != nil {
+	if err := tx.lockTable(t.ID, txn.Shared); err != nil {
 		return err
 	}
 	prefix := row.EncodeKey(vals)
@@ -169,6 +169,7 @@ func (tx *Txn) indexesOf(t catalog.Table) ([]catalog.Index, error) {
 	db := tx.db
 	db.idxMu.RLock()
 	cached, ok := db.idxCache[t.ID]
+	ver := db.catVer
 	db.idxMu.RUnlock()
 	if ok {
 		return cached, nil
@@ -178,7 +179,9 @@ func (tx *Txn) indexesOf(t catalog.Table) ([]catalog.Index, error) {
 		return nil, err
 	}
 	db.idxMu.Lock()
-	db.idxCache[t.ID] = indexes
+	if db.catVer == ver {
+		db.idxCache[t.ID] = indexes
+	}
 	db.idxMu.Unlock()
 	return indexes, nil
 }
@@ -231,10 +234,14 @@ func (tx *Txn) maintainIndexList(indexes []catalog.Index, schema *row.Schema, ol
 	return nil
 }
 
-// invalidateIndexCache drops the whole cache (called when a DDL transaction
-// finishes, committed or not).
+// invalidateIndexCache drops the index and table caches (called when a DDL
+// transaction finishes, committed or not) and bumps the cache version so
+// in-flight fills that read the catalog before the invalidation discard
+// their now-stale result.
 func (db *DB) invalidateIndexCache() {
 	db.idxMu.Lock()
 	db.idxCache = make(map[uint32][]catalog.Index)
+	db.tblCache = make(map[string]catalog.Table)
+	db.catVer++
 	db.idxMu.Unlock()
 }

@@ -83,21 +83,20 @@ func (db *DB) recover() error {
 	// Undo pass: roll back in-flight transactions with the runtime logical
 	// undo machinery.
 	for _, e := range att {
-		tx := &Txn{db: db, id: e.TxnID, begun: true, beginLSN: e.BeginLSN, lastLSN: e.LastLSN}
-		db.mu.Lock()
-		db.txns[tx.id] = tx
-		db.mu.Unlock()
+		tx := &Txn{db: db, id: e.TxnID}
+		tx.begun.Store(true)
+		tx.beginLSN.Store(uint64(e.BeginLSN))
+		tx.lastLSN.Store(uint64(e.LastLSN))
+		db.registerTxn(tx)
 		if err := tx.undoChain(e.LastLSN); err != nil {
 			return fmt.Errorf("undo txn %d: %w", e.TxnID, err)
 		}
-		abort := &wal.Record{Type: wal.TypeAbort, TxnID: tx.id, PrevLSN: tx.lastLSN, PageID: wal.NoPage}
+		abort := &wal.Record{Type: wal.TypeAbort, TxnID: tx.id, PrevLSN: wal.LSN(tx.lastLSN.Load()), PageID: wal.NoPage}
 		if _, err := db.log.AppendFlush(abort); err != nil {
 			return err
 		}
-		tx.state = txnAborted
-		db.mu.Lock()
-		delete(db.txns, tx.id)
-		db.mu.Unlock()
+		tx.state.Store(int32(txnAborted))
+		db.unregisterTxn(tx.id)
 	}
 
 	// Leave a clean starting point for the next crash.

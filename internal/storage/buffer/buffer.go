@@ -1,7 +1,15 @@
 // Package buffer implements the buffer manager of §2.1: a fixed set of
 // frames caching pages, with shared/exclusive page latches, pin counts,
-// LRU-ish eviction and the write-ahead-log rule (the log is flushed up to a
-// page's pageLSN before the page is written back).
+// clock (second-chance) eviction and the write-ahead-log rule (the log is
+// flushed up to a page's pageLSN before the page is written back).
+//
+// The pool is partitioned into shards keyed by a page-id hash: each shard
+// owns a slice of the frames, its own page table and its own clock hand. A
+// frame never migrates between shards. Within a shard, the hit path takes
+// only the shard lock shared — pin counts and clock bits are atomics — so
+// concurrent fetches of resident pages (the overwhelmingly common case,
+// e.g. every B-Tree descent through a hot root) do not serialize; only
+// misses, which must evict and do I/O, take the shard lock exclusively.
 //
 // The same pool type serves both the primary database and as-of snapshots:
 // a snapshot wires in a Source whose ReadPage implements the §5.3 protocol
@@ -13,17 +21,20 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/storage/page"
 )
 
-// Source provides page-granular backing storage for a pool.
+// Source provides page-granular backing storage for a pool. It must be safe
+// for concurrent use: shards evict (and hence read/write pages) in parallel.
 type Source interface {
 	ReadPage(id page.ID, buf []byte) error
 	WritePage(id page.ID, buf []byte) error
 }
 
-// ErrNoFrames is returned when every frame is pinned and none can be evicted.
+// ErrNoFrames is returned when every frame of the target shard is pinned
+// and none can be evicted.
 var ErrNoFrames = errors.New("buffer: all frames pinned")
 
 // Config configures a Pool.
@@ -42,24 +53,49 @@ type Config struct {
 
 type frame struct {
 	latch sync.RWMutex
+	shard *shard
 	id    page.ID
 	pg    *page.Page
-	dirty bool
-	pins  int  // guarded by Pool.mu
-	used  bool // clock bit, guarded by Pool.mu
+	dirty atomic.Bool
+	pins  atomic.Int32
+	used  atomic.Bool // clock bit
+}
+
+// shard is one partition of the pool: a private page table, frame set and
+// clock hand. The table is read under mu.RLock (hits) and mutated under
+// mu.Lock (misses, eviction, teardown).
+type shard struct {
+	cfg *Config
+
+	mu     sync.RWMutex
+	table  map[page.ID]*frame
+	frames []*frame
+	hand   int // clock sweep position, guarded by mu.Lock
+
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // Pool is a buffer pool. It is safe for concurrent use.
 type Pool struct {
-	cfg Config
+	cfg    Config
+	shards []*shard
+	shift  uint // 64 - log2(len(shards)), for the multiplicative hash
+}
 
-	mu     sync.Mutex
-	table  map[page.ID]*frame
-	frames []*frame
-	hand   int // clock sweep position
-
-	hits   int64
-	misses int64
+// shardCount picks the number of shards for a pool of n frames: a power of
+// two, at most 16, and never so many that a shard would hold fewer than
+// 32 frames (tiny pools collapse to one shard and behave exactly like the
+// unsharded pool). ErrNoFrames is a per-shard condition — eviction cannot
+// borrow frames from neighboring shards — so the floor has to comfortably
+// exceed the pins a few concurrent latch-coupled B-Tree descents can hold
+// in one shard at once.
+func shardCount(n int) int {
+	s := 1
+	for s < 16 && n/(s*2) >= 32 {
+		s *= 2
+	}
+	return s
 }
 
 // New creates a pool.
@@ -67,17 +103,41 @@ func New(cfg Config) *Pool {
 	if cfg.Frames <= 0 {
 		cfg.Frames = 256
 	}
-	p := &Pool{cfg: cfg, table: make(map[page.ID]*frame, cfg.Frames)}
-	p.frames = make([]*frame, cfg.Frames)
-	for i := range p.frames {
-		p.frames[i] = &frame{id: page.InvalidID, pg: page.New()}
+	ns := shardCount(cfg.Frames)
+	p := &Pool{cfg: cfg, shards: make([]*shard, ns)}
+	p.shift = 64
+	for 1<<(64-p.shift) < ns {
+		p.shift--
+	}
+	per := cfg.Frames / ns
+	extra := cfg.Frames % ns
+	for i := range p.shards {
+		n := per
+		if i < extra {
+			n++
+		}
+		s := &shard{cfg: &p.cfg, table: make(map[page.ID]*frame, n)}
+		s.frames = make([]*frame, n)
+		for j := range s.frames {
+			s.frames[j] = &frame{shard: s, id: page.InvalidID, pg: page.New()}
+		}
+		p.shards[i] = s
 	}
 	return p
 }
 
+// shardFor maps a page id to its shard with a multiplicative hash, so
+// strided access patterns spread instead of pounding one shard.
+func (p *Pool) shardFor(id page.ID) *shard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return p.shards[h>>p.shift]
+}
+
 // Handle is a pinned, latched page. Callers must Release it promptly.
 type Handle struct {
-	pool  *Pool
 	frame *frame
 	excl  bool
 	done  bool
@@ -92,7 +152,7 @@ func (h *Handle) MarkDirty() {
 	if !h.excl {
 		panic("buffer: MarkDirty on shared handle")
 	}
-	h.frame.dirty = true
+	h.frame.dirty.Store(true)
 }
 
 // Release unlatches and unpins the page. Safe to call once.
@@ -106,7 +166,7 @@ func (h *Handle) Release() {
 	} else {
 		h.frame.latch.RUnlock()
 	}
-	h.pool.unpin(h.frame)
+	unpin(h.frame)
 }
 
 // Upgrade is not supported; callers re-fetch with excl=true. Declared here
@@ -133,34 +193,51 @@ func (p *Pool) fetch(id page.ID, excl, read bool) (*Handle, error) {
 	if id == page.InvalidID {
 		return nil, fmt.Errorf("buffer: fetch of invalid page id")
 	}
-	p.mu.Lock()
-	if f, ok := p.table[id]; ok {
-		f.pins++
-		f.used = true
-		p.hits++
-		p.mu.Unlock()
+	s := p.shardFor(id)
+	// Hit path: shared shard lock only. Pinning under the shared lock
+	// excludes eviction (which needs the exclusive lock and skips pinned
+	// frames), so the frame cannot be repurposed between lookup and pin.
+	s.mu.RLock()
+	if f, ok := s.table[id]; ok {
+		f.pins.Add(1)
+		f.used.Store(true)
+		s.mu.RUnlock()
+		s.hits.Add(1)
 		lockFrame(f, excl)
-		return &Handle{pool: p, frame: f, excl: excl}, nil
+		return &Handle{frame: f, excl: excl}, nil
 	}
-	p.misses++
-	// Miss: evict a victim and load. The pool lock is held across the I/O;
-	// see package comment for the trade-off (simplicity over miss-path
-	// concurrency; hot working sets stay resident).
-	f, err := p.evictLocked()
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	if f, ok := s.table[id]; ok {
+		// A racing miss loaded it while we upgraded the lock.
+		f.pins.Add(1)
+		f.used.Store(true)
+		s.mu.Unlock()
+		s.hits.Add(1)
+		lockFrame(f, excl)
+		return &Handle{frame: f, excl: excl}, nil
+	}
+	s.misses.Add(1)
+	// Miss: evict a victim and load. The exclusive shard lock is held
+	// across the I/O; see package comment for the trade-off (simplicity
+	// over miss-path concurrency; hot working sets stay resident, and
+	// other shards are unaffected).
+	f, err := s.evictLocked()
 	if err != nil {
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return nil, err
 	}
 	if read {
 		if err := p.cfg.Source.ReadPage(id, f.pg.Bytes()); err != nil {
 			f.id = page.InvalidID
-			p.mu.Unlock()
+			s.mu.Unlock()
 			return nil, err
 		}
 		if p.cfg.Checksums {
 			if err := f.pg.VerifyChecksum(); err != nil {
 				f.id = page.InvalidID
-				p.mu.Unlock()
+				s.mu.Unlock()
 				return nil, err
 			}
 		}
@@ -168,13 +245,13 @@ func (p *Pool) fetch(id page.ID, excl, read bool) (*Handle, error) {
 		zero(f.pg.Bytes())
 	}
 	f.id = id
-	f.dirty = false
-	f.pins = 1
-	f.used = true
-	p.table[id] = f
-	p.mu.Unlock()
+	f.dirty.Store(false)
+	f.pins.Store(1)
+	f.used.Store(true)
+	s.table[id] = f
+	s.mu.Unlock()
 	lockFrame(f, excl)
-	return &Handle{pool: p, frame: f, excl: excl}, nil
+	return &Handle{frame: f, excl: excl}, nil
 }
 
 func lockFrame(f *frame, excl bool) {
@@ -192,26 +269,26 @@ func zero(b []byte) {
 }
 
 // evictLocked finds a reusable frame, writing it back if dirty.
-// Called with p.mu held; returns with p.mu still held.
-func (p *Pool) evictLocked() (*frame, error) {
-	n := len(p.frames)
+// Called with s.mu held exclusively; returns with it still held.
+func (s *shard) evictLocked() (*frame, error) {
+	n := len(s.frames)
 	for sweep := 0; sweep < 2*n+1; sweep++ {
-		f := p.frames[p.hand]
-		p.hand = (p.hand + 1) % n
-		if f.pins > 0 {
+		f := s.frames[s.hand]
+		s.hand = (s.hand + 1) % n
+		if f.pins.Load() > 0 {
 			continue
 		}
-		if f.used {
-			f.used = false
+		if f.used.Load() {
+			f.used.Store(false)
 			continue
 		}
 		if f.id != page.InvalidID {
-			if f.dirty {
-				if err := p.writeBack(f); err != nil {
+			if f.dirty.Load() {
+				if err := s.writeBack(f); err != nil {
 					return nil, err
 				}
 			}
-			delete(p.table, f.id)
+			delete(s.table, f.id)
 			f.id = page.InvalidID
 		}
 		return f, nil
@@ -219,61 +296,60 @@ func (p *Pool) evictLocked() (*frame, error) {
 	return nil, ErrNoFrames
 }
 
-// writeBack flushes one dirty frame, honoring the WAL rule.
-// Caller holds p.mu and guarantees pins == 0 (no latch holder exists).
-func (p *Pool) writeBack(f *frame) error {
-	if p.cfg.FlushLog != nil {
-		if err := p.cfg.FlushLog(f.pg.PageLSN()); err != nil {
+// writeBack flushes one dirty frame, honoring the WAL rule. Caller holds
+// s.mu exclusively and guarantees either pins == 0 (no latch holder
+// exists) or a shared latch on the frame (FlushAll).
+func (s *shard) writeBack(f *frame) error {
+	if s.cfg.FlushLog != nil {
+		if err := s.cfg.FlushLog(f.pg.PageLSN()); err != nil {
 			return fmt.Errorf("buffer: WAL flush before writeback of page %d: %w", f.id, err)
 		}
 	}
-	if p.cfg.Checksums {
+	if s.cfg.Checksums {
 		f.pg.WriteChecksum()
 	}
-	if err := p.cfg.Source.WritePage(f.id, f.pg.Bytes()); err != nil {
+	if err := s.cfg.Source.WritePage(f.id, f.pg.Bytes()); err != nil {
 		return fmt.Errorf("buffer: writeback of page %d: %w", f.id, err)
 	}
-	f.dirty = false
+	f.dirty.Store(false)
 	return nil
 }
 
-func (p *Pool) unpin(f *frame) {
-	p.mu.Lock()
-	f.pins--
-	if f.pins < 0 {
-		p.mu.Unlock()
+func unpin(f *frame) {
+	if f.pins.Add(-1) < 0 {
 		panic("buffer: negative pin count")
 	}
-	p.mu.Unlock()
 }
 
 // FlushAll writes back every dirty page. Pages being modified concurrently
 // are briefly latched shared to get a consistent image.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	dirty := make([]*frame, 0, len(p.frames))
-	for _, f := range p.frames {
-		if f.id != page.InvalidID && f.dirty {
-			f.pins++ // keep resident while we work on it
-			dirty = append(dirty, f)
-		}
-	}
-	p.mu.Unlock()
-
 	var firstErr error
-	for _, f := range dirty {
-		f.latch.RLock()
-		p.mu.Lock()
-		var err error
-		if f.dirty && f.id != page.InvalidID {
-			err = p.writeBack(f)
+	for _, s := range p.shards {
+		s.mu.Lock()
+		dirty := make([]*frame, 0, len(s.frames))
+		for _, f := range s.frames {
+			if f.id != page.InvalidID && f.dirty.Load() {
+				f.pins.Add(1) // keep resident while we work on it
+				dirty = append(dirty, f)
+			}
 		}
-		p.mu.Unlock()
-		f.latch.RUnlock()
-		if err != nil && firstErr == nil {
-			firstErr = err
+		s.mu.Unlock()
+
+		for _, f := range dirty {
+			f.latch.RLock()
+			s.mu.Lock()
+			var err error
+			if f.dirty.Load() && f.id != page.InvalidID {
+				err = s.writeBack(f)
+			}
+			s.mu.Unlock()
+			f.latch.RUnlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			unpin(f)
 		}
-		p.unpin(f)
 	}
 	return firstErr
 }
@@ -281,34 +357,47 @@ func (p *Pool) FlushAll() error {
 // DropAll discards every non-pinned clean frame and fails if dirty or pinned
 // frames remain. Used when tearing a pool down deterministically in tests.
 func (p *Pool) DropAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.id == page.InvalidID {
-			continue
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.id == page.InvalidID {
+				continue
+			}
+			if f.pins.Load() > 0 {
+				s.mu.Unlock()
+				return fmt.Errorf("buffer: page %d still pinned", f.id)
+			}
+			if f.dirty.Load() {
+				s.mu.Unlock()
+				return fmt.Errorf("buffer: page %d still dirty", f.id)
+			}
+			delete(s.table, f.id)
+			f.id = page.InvalidID
 		}
-		if f.pins > 0 {
-			return fmt.Errorf("buffer: page %d still pinned", f.id)
-		}
-		if f.dirty {
-			return fmt.Errorf("buffer: page %d still dirty", f.id)
-		}
-		delete(p.table, f.id)
-		f.id = page.InvalidID
+		s.mu.Unlock()
 	}
 	return nil
 }
 
-// Stats returns (hits, misses) counters.
+// Stats returns (hits, misses) counters summed across shards.
 func (p *Pool) Stats() (hits, misses int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hits, p.misses
+	for _, s := range p.shards {
+		hits += s.hits.Load()
+		misses += s.misses.Load()
+	}
+	return hits, misses
 }
 
 // Resident returns the number of pages currently cached.
 func (p *Pool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.table)
+	n := 0
+	for _, s := range p.shards {
+		s.mu.RLock()
+		n += len(s.table)
+		s.mu.RUnlock()
+	}
+	return n
 }
+
+// Shards returns the number of partitions (introspection for tests).
+func (p *Pool) Shards() int { return len(p.shards) }

@@ -317,3 +317,104 @@ func TestMarkDirtyOnSharedPanics(t *testing.T) {
 	}()
 	h.MarkDirty()
 }
+
+// --- sharded pool ---
+
+func TestShardCounts(t *testing.T) {
+	for _, tc := range []struct{ frames, want int }{
+		{2, 1}, {8, 1}, {16, 1}, {64, 2}, {512, 16}, {8192, 16},
+	} {
+		p := New(Config{Frames: tc.frames, Source: newMemSource()})
+		if got := p.Shards(); got != tc.want {
+			t.Errorf("Frames=%d: %d shards, want %d", tc.frames, got, tc.want)
+		}
+	}
+}
+
+// TestShardedPoolServesAllPages fills a multi-shard pool and verifies every
+// page is fetchable with correct content and the counters add up.
+func TestShardedPoolServesAllPages(t *testing.T) {
+	src := newMemSource()
+	const pages = 100
+	for i := 0; i < pages; i++ {
+		src.seed(page.ID(i))
+	}
+	pool := New(Config{Frames: 256, Source: src})
+	if pool.Shards() < 2 {
+		t.Fatalf("want a sharded pool, got %d shards", pool.Shards())
+	}
+	for round := 0; round < 2; round++ {
+		for i := 0; i < pages; i++ {
+			h, err := pool.Fetch(page.ID(i), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := string(h.Page().MustGet(0)); got != fmt.Sprintf("page-%d", i) {
+				t.Fatalf("page %d content %q", i, got)
+			}
+			h.Release()
+		}
+	}
+	if pool.Resident() != pages {
+		t.Fatalf("resident = %d, want %d", pool.Resident(), pages)
+	}
+	hits, misses := pool.Stats()
+	if misses != pages || hits != pages {
+		t.Fatalf("stats hits=%d misses=%d, want %d/%d", hits, misses, pages, pages)
+	}
+}
+
+// TestShardedPoolConcurrentMixed hammers a sharded pool with concurrent
+// readers, writers and evictions for the race detector.
+func TestShardedPoolConcurrentMixed(t *testing.T) {
+	src := newMemSource()
+	const pages = 200
+	for i := 0; i < pages; i++ {
+		src.seed(page.ID(i))
+	}
+	var flushMu sync.Mutex
+	var flushed uint64
+	pool := New(Config{
+		Frames: 64, // smaller than the working set: constant eviction
+		Source: src,
+		FlushLog: func(lsn uint64) error {
+			flushMu.Lock()
+			if lsn > flushed {
+				flushed = lsn
+			}
+			flushMu.Unlock()
+			return nil
+		},
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := page.ID((w*37 + i*13) % pages)
+				excl := i%5 == 0
+				h, err := pool.Fetch(id, excl)
+				if err != nil {
+					if errors.Is(err, ErrNoFrames) {
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				if h.Page().ID() != id {
+					t.Errorf("fetched %d got %d", id, h.Page().ID())
+				}
+				if excl {
+					h.Page().SetPageLSN(uint64(w*1000 + i))
+					h.MarkDirty()
+				}
+				h.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -241,6 +241,17 @@ func (p *Page) FreeSpace() int {
 	return free
 }
 
+// HasSpace reports whether a record of n bytes fits (equivalent to
+// FreeSpace() >= n), but skips the per-slot fragmentation scan when the
+// contiguous gap alone suffices — the common case on insert-heavy pages,
+// where FreeSpace shows up as a per-insert O(slots) walk.
+func (p *Page) HasSpace(n int) bool {
+	if p.freeUpper()-p.freeLower()-slotSize >= n {
+		return true
+	}
+	return p.FreeSpace() >= n
+}
+
 // fragmented returns reclaimable bytes not in the contiguous gap.
 func (p *Page) fragmented() int {
 	used := 0

@@ -128,11 +128,55 @@ type lockState struct {
 	queue   []*waiter
 }
 
+// statePool recycles lockState values: row locks are created and destroyed
+// once per transaction touching the row, and allocating a fresh holders map
+// each time dominates the lock fast path's allocation profile.
+var statePool = sync.Pool{
+	New: func() any { return &lockState{holders: make(map[uint64]Mode, 2)} },
+}
+
+// heldPool recycles the per-transaction held-lock maps the same way.
+var heldPool = sync.Pool{
+	New: func() any { return make(map[Key]Mode, 8) },
+}
+
+// lockShards and heldShards are the partition counts of the lock table and
+// the per-transaction held sets. Both are powers of two.
+const (
+	lockShards = 16
+	heldShards = 16
+)
+
+// lockShard is one partition of the lock table, keyed by resource hash.
+// Padded to a cache line so neighboring shards' mutexes do not false-share.
+type lockShard struct {
+	mu    sync.Mutex
+	locks map[Key]*lockState
+	_     [64 - 16]byte
+}
+
+// heldShard is one partition of the held-locks bookkeeping, keyed by
+// transaction id. Its mutex is a leaf lock: nothing else is acquired while
+// holding it.
+type heldShard struct {
+	mu   sync.Mutex
+	held map[uint64]map[Key]Mode
+	_    [64 - 16]byte
+}
+
 // LockManager grants and queues locks. Use NewLockManager.
+//
+// The lock table is sharded by resource hash and the held bookkeeping by
+// transaction id, so the fast path (grant without conflict, release) never
+// touches a manager-wide mutex. Only the wait-for graph is global — it is
+// consulted purely on the slow path, when a request must queue, and the
+// deadlock search walks a snapshot taking one shard lock at a time. Lock
+// ordering is lockShard.mu → heldShard.mu → waitMu, and no path holds two
+// locks of the same tier.
 type LockManager struct {
-	mu      sync.Mutex
-	locks   map[Key]*lockState
-	held    map[uint64]map[Key]Mode
+	shards  [lockShards]lockShard
+	held    [heldShards]heldShard
+	waitMu  sync.Mutex
 	waitFor map[uint64]Key
 	timeout time.Duration
 }
@@ -143,12 +187,29 @@ func NewLockManager(timeout time.Duration) *LockManager {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	return &LockManager{
-		locks:   make(map[Key]*lockState),
-		held:    make(map[uint64]map[Key]Mode),
+	lm := &LockManager{
 		waitFor: make(map[uint64]Key),
 		timeout: timeout,
 	}
+	for i := range lm.shards {
+		lm.shards[i].locks = make(map[Key]*lockState)
+	}
+	for i := range lm.held {
+		lm.held[i].held = make(map[uint64]map[Key]Mode)
+	}
+	return lm
+}
+
+func (lm *LockManager) keyShard(k Key) *lockShard {
+	h := uint64(k.Object)*0x9E3779B97F4A7C15 + 0x85EBCA77C2B2AE63
+	for i := 0; i < len(k.Row); i++ {
+		h = (h ^ uint64(k.Row[i])) * 1099511628211
+	}
+	return &lm.shards[(h>>32)&(lockShards-1)]
+}
+
+func (lm *LockManager) heldShard(txnID uint64) *heldShard {
+	return &lm.held[txnID&(heldShards-1)]
 }
 
 // Lock acquires key in the given mode for txnID, blocking behind
@@ -156,60 +217,86 @@ func NewLockManager(timeout time.Duration) *LockManager {
 // the request is for the supremum of the held and wanted modes (upgrade).
 // Deadlocks abort the requester with ErrDeadlock.
 func (lm *LockManager) Lock(txnID uint64, key Key, mode Mode) error {
-	lm.mu.Lock()
-	st := lm.locks[key]
+	ks := lm.keyShard(key)
+	ks.mu.Lock()
+	st := ks.locks[key]
 	if st == nil {
-		st = &lockState{holders: make(map[uint64]Mode)}
-		lm.locks[key] = st
+		st = statePool.Get().(*lockState)
+		ks.locks[key] = st
 	}
 	want := mode
 	if held, ok := st.holders[txnID]; ok {
 		if covers(held, mode) {
-			lm.mu.Unlock()
+			ks.mu.Unlock()
 			return nil
 		}
 		want = sup(held, mode)
 	}
-	if lm.grantableLocked(st, txnID, want) {
+	if grantable(st, txnID, want) {
 		st.holders[txnID] = want
+		ks.mu.Unlock()
 		lm.noteHeld(txnID, key, want)
-		lm.mu.Unlock()
 		return nil
 	}
 
 	w := &waiter{txn: txnID, mode: want, ready: make(chan error, 1)}
 	st.queue = append(st.queue, w)
+	ks.mu.Unlock()
+	lm.waitMu.Lock()
 	lm.waitFor[txnID] = key
-	if lm.deadlockLocked(txnID) {
-		lm.removeWaiterLocked(st, w)
-		delete(lm.waitFor, txnID)
-		lm.mu.Unlock()
-		return fmt.Errorf("%w: txn %d on %v (%v)", ErrDeadlock, txnID, key, want)
-	}
-	lm.mu.Unlock()
+	lm.waitMu.Unlock()
 
-	select {
-	case err := <-w.ready:
-		return err
-	case <-time.After(lm.timeout):
-		lm.mu.Lock()
+	if lm.detectDeadlock(txnID) {
+		// Withdraw the request — unless a grant raced the detection, in
+		// which case the lock is ours after all.
+		ks.mu.Lock()
 		select {
-		case err := <-w.ready: // the grant raced the timeout
-			lm.mu.Unlock()
+		case err := <-w.ready:
+			ks.mu.Unlock()
+			lm.clearWait(txnID)
 			return err
 		default:
 		}
-		lm.removeWaiterLocked(st, w)
-		delete(lm.waitFor, txnID)
-		lm.mu.Unlock()
+		if cur := ks.locks[key]; cur != nil {
+			removeWaiter(cur, w)
+		}
+		ks.mu.Unlock()
+		lm.clearWait(txnID)
+		return fmt.Errorf("%w: txn %d on %v (%v)", ErrDeadlock, txnID, key, want)
+	}
+
+	select {
+	case err := <-w.ready:
+		lm.clearWait(txnID)
+		return err
+	case <-time.After(lm.timeout):
+		ks.mu.Lock()
+		select {
+		case err := <-w.ready: // the grant raced the timeout
+			ks.mu.Unlock()
+			lm.clearWait(txnID)
+			return err
+		default:
+		}
+		if cur := ks.locks[key]; cur != nil {
+			removeWaiter(cur, w)
+		}
+		ks.mu.Unlock()
+		lm.clearWait(txnID)
 		return fmt.Errorf("%w: txn %d on %v (%v)", ErrLockTimeout, txnID, key, want)
 	}
 }
 
-// grantableLocked reports whether txnID may take key in mode right now:
-// all other holders must be compatible and no conflicting waiter may be
-// queued (FIFO fairness, prevents writer starvation).
-func (lm *LockManager) grantableLocked(st *lockState, txnID uint64, mode Mode) bool {
+func (lm *LockManager) clearWait(txnID uint64) {
+	lm.waitMu.Lock()
+	delete(lm.waitFor, txnID)
+	lm.waitMu.Unlock()
+}
+
+// grantable reports whether txnID may take key in mode right now: all
+// other holders must be compatible and no conflicting waiter may be queued
+// (FIFO fairness, prevents writer starvation). Caller holds the key shard.
+func grantable(st *lockState, txnID uint64, mode Mode) bool {
 	for holder, hm := range st.holders {
 		if holder == txnID {
 			continue
@@ -230,20 +317,22 @@ func (lm *LockManager) grantableLocked(st *lockState, txnID uint64, mode Mode) b
 }
 
 func (lm *LockManager) noteHeld(txnID uint64, key Key, mode Mode) {
-	m := lm.held[txnID]
+	hs := lm.heldShard(txnID)
+	hs.mu.Lock()
+	m := hs.held[txnID]
 	if m == nil {
-		m = make(map[Key]Mode)
-		lm.held[txnID] = m
+		m = heldPool.Get().(map[Key]Mode)
+		hs.held[txnID] = m
 	}
 	if cur, ok := m[key]; ok {
 		m[key] = sup(cur, mode)
 	} else {
 		m[key] = mode
 	}
-	delete(lm.waitFor, txnID)
+	hs.mu.Unlock()
 }
 
-func (lm *LockManager) removeWaiterLocked(st *lockState, w *waiter) {
+func removeWaiter(st *lockState, w *waiter) {
 	for i, q := range st.queue {
 		if q == w {
 			st.queue = append(st.queue[:i], st.queue[i+1:]...)
@@ -252,8 +341,10 @@ func (lm *LockManager) removeWaiterLocked(st *lockState, w *waiter) {
 	}
 }
 
-// grantQueuedLocked wakes queue heads that can now be granted.
-func (lm *LockManager) grantQueuedLocked(key Key, st *lockState) {
+// grantQueued wakes queue heads that can now be granted. Caller holds the
+// key shard; noteHeld (held shard) and clearWait (waitMu) nest inside it in
+// the documented lock order.
+func (lm *LockManager) grantQueued(key Key, st *lockState) {
 	for len(st.queue) > 0 {
 		w := st.queue[0]
 		ok := true
@@ -272,6 +363,7 @@ func (lm *LockManager) grantQueuedLocked(key Key, st *lockState) {
 		st.queue = st.queue[1:]
 		st.holders[w.txn] = sup(st.holders[w.txn], w.mode)
 		lm.noteHeld(w.txn, key, w.mode)
+		lm.clearWait(w.txn)
 		w.ready <- nil
 	}
 }
@@ -279,50 +371,81 @@ func (lm *LockManager) grantQueuedLocked(key Key, st *lockState) {
 // ReleaseAll releases every lock held by txnID (commit/abort time — strict
 // two-phase locking) and wakes any unblocked waiters.
 func (lm *LockManager) ReleaseAll(txnID uint64) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	for key := range lm.held[txnID] {
-		st := lm.locks[key]
+	hs := lm.heldShard(txnID)
+	hs.mu.Lock()
+	held := hs.held[txnID]
+	delete(hs.held, txnID)
+	hs.mu.Unlock()
+	for key := range held {
+		delete(held, key) // emptied entry-by-entry: cheaper than clear() on a grown map
+		ks := lm.keyShard(key)
+		ks.mu.Lock()
+		st := ks.locks[key]
 		if st == nil {
+			ks.mu.Unlock()
 			continue
 		}
 		delete(st.holders, txnID)
-		lm.grantQueuedLocked(key, st)
+		lm.grantQueued(key, st)
 		if len(st.holders) == 0 && len(st.queue) == 0 {
-			delete(lm.locks, key)
+			delete(ks.locks, key)
+			statePool.Put(st)
 		}
+		ks.mu.Unlock()
 	}
-	delete(lm.held, txnID)
-	delete(lm.waitFor, txnID)
+	if held != nil {
+		heldPool.Put(held)
+	}
+	lm.clearWait(txnID)
 }
 
 // Held returns the number of locks held by txnID.
 func (lm *LockManager) Held(txnID uint64) int {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	return len(lm.held[txnID])
+	hs := lm.heldShard(txnID)
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	return len(hs.held[txnID])
 }
 
 // HeldMode returns the mode txnID holds on key, if any.
 func (lm *LockManager) HeldMode(txnID uint64, key Key) (Mode, bool) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	m, ok := lm.held[txnID][key]
+	hs := lm.heldShard(txnID)
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	m, ok := hs.held[txnID][key]
 	return m, ok
 }
 
-// deadlockLocked detects whether txnID waiting on its queued key closes a
-// cycle in the wait-for graph.
-func (lm *LockManager) deadlockLocked(start uint64) bool {
+// detectDeadlock reports whether start waiting on its queued key closes a
+// cycle in the wait-for graph. It walks a snapshot: the wait-for edges are
+// copied under waitMu and each lock state is inspected under its own shard
+// lock, one at a time — no two locks are ever held together, so detection
+// can run concurrently with grants and releases. The result is therefore
+// approximate in the presence of races: a transient false positive aborts
+// one transaction with a retryable error, a false negative falls back to
+// the lock timeout. Stable (true) deadlocks are always found, because their
+// edges stop changing.
+func (lm *LockManager) detectDeadlock(start uint64) bool {
+	lm.waitMu.Lock()
+	waitFor := make(map[uint64]Key, len(lm.waitFor))
+	for t, k := range lm.waitFor {
+		waitFor[t] = k
+	}
+	lm.waitMu.Unlock()
+
 	visited := make(map[uint64]bool)
 	var dfs func(t uint64) bool
 	dfs = func(t uint64) bool {
-		key, waiting := lm.waitFor[t]
+		key, waiting := waitFor[t]
 		if !waiting {
 			return false
 		}
-		st := lm.locks[key]
+		// Snapshot this lock's holders and queue under its shard lock.
+		ks := lm.keyShard(key)
+		ks.mu.Lock()
+		st := ks.locks[key]
 		if st == nil {
+			ks.mu.Unlock()
 			return false
 		}
 		var mode Mode
@@ -332,6 +455,23 @@ func (lm *LockManager) deadlockLocked(start uint64) bool {
 				break
 			}
 		}
+		type edge struct {
+			txn  uint64
+			mode Mode
+		}
+		holders := make([]edge, 0, len(st.holders))
+		for holder, hm := range st.holders {
+			holders = append(holders, edge{holder, hm})
+		}
+		ahead := make([]edge, 0, len(st.queue))
+		for _, w := range st.queue {
+			if w.txn == t {
+				break
+			}
+			ahead = append(ahead, edge{w.txn, w.mode})
+		}
+		ks.mu.Unlock()
+
 		check := func(other uint64) bool {
 			if other == t {
 				return false
@@ -345,24 +485,17 @@ func (lm *LockManager) deadlockLocked(start uint64) bool {
 			visited[other] = true
 			return dfs(other)
 		}
-		for holder, hm := range st.holders {
-			if holder == t {
+		for _, h := range holders {
+			if h.txn == t {
 				continue
 			}
-			if !Compatible(hm, mode) {
-				if check(holder) {
-					return true
-				}
+			if !Compatible(h.mode, mode) && check(h.txn) {
+				return true
 			}
 		}
-		for _, w := range st.queue {
-			if w.txn == t {
-				break
-			}
-			if !Compatible(w.mode, mode) {
-				if check(w.txn) {
-					return true
-				}
+		for _, w := range ahead {
+			if !Compatible(w.mode, mode) && check(w.txn) {
+				return true
 			}
 		}
 		return false

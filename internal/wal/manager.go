@@ -9,6 +9,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/storage/media"
 )
@@ -24,20 +25,59 @@ const readBlockSize = 32 << 10
 // Manager is the log manager: it assigns LSNs, buffers appends, forces the
 // log on commit (write-ahead rule), serves random reads by LSN for undo, and
 // sequential scans for recovery and SplitLSN searches.
+//
+// The write path is a group-commit pipeline with a double-buffered tail:
+// Append frames records into the active tail buffer under mu, while at most
+// one flusher at a time writes the previously swapped-out buffer to disk
+// outside the lock — so appends (and therefore other transactions' progress)
+// never stall behind a log write. Committers call WaitDurable(lsn): the
+// first waiter becomes the flush leader, optionally lingers up to
+// GroupCommitMaxDelay for companions (skipped once GroupCommitMaxBytes are
+// pending), swaps the tail out and writes it; every commit whose record
+// landed in that buffer is acknowledged by the same write. Waiters that
+// arrive while a flush is in flight wait for it to complete and then elect
+// the next leader, which flushes the whole batch that accumulated meanwhile
+// — classic pipelined group commit.
 type Manager struct {
-	mu sync.Mutex // serializes append/flush, guards fields below
+	mu sync.Mutex // guards append state and flush bookkeeping below
 
-	f        *os.File
-	dev      *media.Device
-	tail     []byte // appended but not yet flushed
-	tailAt   LSN    // LSN of tail[0]
-	next     LSN    // next LSN to assign
+	f   *os.File
+	dev *media.Device
+
+	tail   []byte // active append buffer
+	tailAt LSN    // LSN of tail[0]
+	next   LSN    // next LSN to assign
+	spare  []byte // recycled buffer, swapped in when a flush takes the tail
+
+	// While a flush is in flight, the bytes being written live here; their
+	// content is immutable until the flush completes, so readAt can serve
+	// them under mu.
+	flushing    []byte
+	flushingAt  LSN
+	flushActive bool
+	flushGen    uint64     // bumped when a flush completes
+	flushDone   *sync.Cond // broadcast on flushGen bump; waits on mu
+
 	flushed  atomic.Uint64
 	truncLSN LSN // records below this are unavailable (retention)
 
+	ioErr error // sticky: a failed log write poisons the manager
+
+	// Group-commit tuning; set via SetGroupCommit before concurrent use.
+	gcDelay time.Duration
+	gcBytes int
+
 	cache     *blockCache
 	UndoReads atomic.Int64 // random block reads served from disk (Fig 11)
+
+	// Flushes counts physical log writes. Commits / Flushes is the group
+	// commit batching factor.
+	Flushes atomic.Int64
 }
+
+// DefaultGroupCommitMaxBytes is the pending-bytes threshold past which a
+// lingering flush leader stops waiting for companions.
+const DefaultGroupCommitMaxBytes = 256 << 10
 
 // Open opens (creating if necessary) the log file at path. dev may be nil.
 func Open(path string, dev *media.Device) (*Manager, error) {
@@ -51,14 +91,27 @@ func Open(path string, dev *media.Device) (*Manager, error) {
 		return nil, fmt.Errorf("wal: stat: %w", err)
 	}
 	m := &Manager{
-		f:      f,
-		dev:    dev,
-		next:   LSN(st.Size()) + 1,
-		tailAt: LSN(st.Size()) + 1,
-		cache:  newBlockCache(256), // 8 MiB of log cache
+		f:       f,
+		dev:     dev,
+		next:    LSN(st.Size()) + 1,
+		tailAt:  LSN(st.Size()) + 1,
+		gcBytes: DefaultGroupCommitMaxBytes,
+		cache:   newBlockCache(256), // 8 MiB of log cache
 	}
+	m.flushDone = sync.NewCond(&m.mu)
 	m.flushed.Store(uint64(m.next - 1))
 	return m, nil
+}
+
+// SetGroupCommit configures the group-commit linger window: a flush leader
+// waits up to delay for more commits to join its write, unless maxBytes are
+// already pending (maxBytes <= 0 keeps the default). Call before the manager
+// is shared between goroutines.
+func (m *Manager) SetGroupCommit(delay time.Duration, maxBytes int) {
+	m.gcDelay = delay
+	if maxBytes > 0 {
+		m.gcBytes = maxBytes
+	}
 }
 
 // Close flushes and closes the log.
@@ -89,19 +142,33 @@ func (m *Manager) TruncationPoint() LSN {
 	return m.truncLSN
 }
 
+// framePool recycles scratch buffers so records can be framed (marshaled
+// and checksummed) outside the manager lock.
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+type frameBuf struct{ b []byte }
+
 // Append assigns the record an LSN and buffers it. The record is not
-// durable until Flush reaches its LSN.
+// durable until the flushed LSN reaches its LSN. Appends proceed even while
+// a flush is writing earlier records to disk, and the marshaling + CRC work
+// happens outside the manager lock (the record body does not depend on the
+// LSN), so concurrent appenders only serialize on the tail memcpy.
 func (m *Manager) Append(r *Record) (LSN, error) {
+	fb := framePool.Get().(*frameBuf)
+	fb.b = frame(fb.b[:0], r)
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	r.LSN = m.next
-	before := len(m.tail)
-	m.tail = frame(m.tail, r)
-	m.next += LSN(len(m.tail) - before)
-	return r.LSN, nil
+	lsn := m.next
+	m.tail = append(m.tail, fb.b...)
+	m.next += LSN(len(fb.b))
+	m.mu.Unlock()
+	r.LSN = lsn
+	framePool.Put(fb)
+	return lsn, nil
 }
 
-// AppendFlush appends and immediately forces the record to disk.
+// AppendFlush appends and immediately forces the record to disk, without
+// the group-commit linger. For infrequent must-be-durable-now records
+// (checkpoint ends, recovery aborts) and the A/B serial-commit path.
 func (m *Manager) AppendFlush(r *Record) (LSN, error) {
 	lsn, err := m.Append(r)
 	if err != nil {
@@ -110,27 +177,108 @@ func (m *Manager) AppendFlush(r *Record) (LSN, error) {
 	return lsn, m.Flush(lsn)
 }
 
-// Flush forces the log to disk through at least lsn. Log writes are
-// sequential I/O (the paper notes ~100 MB/s of sequential log bandwidth
-// at peak, easily sustainable).
-func (m *Manager) Flush(lsn LSN) error {
-	if LSN(m.flushed.Load()) >= lsn {
-		return nil
+// Flush forces the log to disk through at least lsn, immediately. Log
+// writes are sequential I/O (the paper notes ~100 MB/s of sequential log
+// bandwidth at peak, easily sustainable).
+func (m *Manager) Flush(lsn LSN) error { return m.force(lsn, false) }
+
+// WaitDurable blocks until the record at lsn is durable, participating in
+// group commit: the calling goroutine may become the flush leader (and
+// linger up to the configured delay to batch companions) or ride on another
+// leader's write. This is the commit path.
+func (m *Manager) WaitDurable(lsn LSN) error { return m.force(lsn, true) }
+
+// force drives the flush pipeline until lsn is durable. With linger set, an
+// elected leader waits up to gcDelay for more appends before writing,
+// unless gcBytes are already pending.
+func (m *Manager) force(lsn LSN, linger bool) error {
+	for {
+		if LSN(m.flushed.Load()) >= lsn {
+			return nil
+		}
+		m.mu.Lock()
+		if m.ioErr != nil {
+			err := m.ioErr
+			m.mu.Unlock()
+			return err
+		}
+		if LSN(m.flushed.Load()) >= lsn {
+			m.mu.Unlock()
+			return nil
+		}
+		if lsn >= m.next {
+			m.mu.Unlock()
+			return fmt.Errorf("wal: flush of unappended %v", lsn)
+		}
+		if m.flushActive {
+			// A flush is in flight. Wait for it; if it covered our record
+			// the re-check returns, otherwise we compete to lead the next.
+			gen := m.flushGen
+			for m.flushActive && m.flushGen == gen {
+				m.flushDone.Wait()
+			}
+			m.mu.Unlock()
+			continue
+		}
+		// Leader: claim the flush slot.
+		m.flushActive = true
+		if linger && m.gcDelay > 0 && len(m.tail) < m.gcBytes {
+			// Linger for companions: trade commit latency for batch size.
+			// Only with an explicitly configured delay — by default the
+			// pipeline batches purely from arrivals during in-flight writes,
+			// because any kind of leader yield lets an unrelated CPU-bound
+			// goroutine steal the core for a whole scheduler timeslice,
+			// starving committers (observed: a concurrent as-of snapshot
+			// loop collapsing TPC-C throughput 13x on one core).
+			m.mu.Unlock()
+			time.Sleep(m.gcDelay)
+			m.mu.Lock()
+		}
+		// Swap the tail out; appends continue into the spare buffer while
+		// we write outside the lock.
+		buf := m.tail
+		at := m.tailAt
+		m.flushing = buf
+		m.flushingAt = at
+		if m.spare == nil {
+			m.spare = make([]byte, 0, cap(buf))
+		}
+		m.tail = m.spare[:0]
+		m.spare = nil
+		m.tailAt = at + LSN(len(buf))
+		m.mu.Unlock()
+
+		var err error
+		if len(buf) > 0 {
+			_, err = m.f.WriteAt(buf, int64(at-1))
+			m.Flushes.Add(1)
+		}
+
+		m.mu.Lock()
+		if err != nil {
+			// Put the unwritten bytes back in front of whatever was appended
+			// meanwhile and poison the manager: after a failed log write no
+			// later flush may succeed, or the log would have a hole.
+			m.ioErr = fmt.Errorf("wal: flush: %w", err)
+			m.tail = append(buf, m.tail...)
+			m.tailAt = at
+			err = m.ioErr
+		} else {
+			m.flushed.Store(uint64(at) + uint64(len(buf)) - 1)
+			m.spare = buf[:0]
+		}
+		m.flushing = nil
+		m.flushActive = false
+		m.flushGen++
+		m.flushDone.Broadcast()
+		m.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if len(buf) > 0 {
+			m.dev.ChargeWrite(int64(len(buf)), true)
+		}
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if LSN(m.flushed.Load()) >= lsn || len(m.tail) == 0 {
-		return nil
-	}
-	n := len(m.tail)
-	if _, err := m.f.WriteAt(m.tail, int64(m.tailAt-1)); err != nil {
-		return fmt.Errorf("wal: flush: %w", err)
-	}
-	m.dev.ChargeWrite(int64(n), true)
-	m.tailAt += LSN(n)
-	m.tail = m.tail[:0]
-	m.flushed.Store(uint64(m.tailAt - 1))
-	return nil
 }
 
 // Truncate discards records below lsn (the retention boundary, §4.3). The
@@ -152,13 +300,13 @@ func (m *Manager) Size() int64 {
 	return int64(m.next - 1)
 }
 
-// readAt fills buf from log offset off, preferring the in-memory tail.
-// Returns the number of bytes it could serve (may be short at end of log).
-// The tail portion is copied under the manager lock because Flush recycles
-// the tail buffer.
+// readAt fills buf from log offset off. Bytes may live in three places: the
+// active tail, the buffer a flush is currently writing, and the file; the
+// in-memory portions are copied under the manager lock (Flush recycles the
+// buffers once a write completes), the durable portion is read outside it.
+// Returns the number of bytes it could serve (short only at end of log).
 func (m *Manager) readAt(buf []byte, off int64, countIO bool) (int, error) {
 	m.mu.Lock()
-	tailStart := int64(m.tailAt - 1)
 	end := int64(m.next - 1)
 	if off >= end {
 		m.mu.Unlock()
@@ -168,7 +316,8 @@ func (m *Manager) readAt(buf []byte, off int64, countIO bool) (int, error) {
 	if off+int64(len(want)) > end {
 		want = want[:end-off]
 	}
-	tailN := 0
+	tailStart := int64(m.tailAt - 1)
+	memStart := tailStart
 	if off+int64(len(want)) > tailStart {
 		srcOff := off - tailStart
 		dstOff := int64(0)
@@ -176,18 +325,37 @@ func (m *Manager) readAt(buf []byte, off int64, countIO bool) (int, error) {
 			dstOff = -srcOff
 			srcOff = 0
 		}
-		tailN = copy(want[dstOff:], m.tail[srcOff:])
+		copy(want[dstOff:], m.tail[srcOff:])
+	}
+	if m.flushing != nil {
+		fStart := int64(m.flushingAt - 1)
+		memStart = fStart
+		if off < tailStart && off+int64(len(want)) > fStart {
+			srcOff := off - fStart
+			dstOff := int64(0)
+			if srcOff < 0 {
+				dstOff = -srcOff
+				srcOff = 0
+			}
+			seg := want[dstOff:]
+			if lim := tailStart - fStart - srcOff; int64(len(seg)) > lim {
+				seg = seg[:lim]
+			}
+			copy(seg, m.flushing[srcOff:])
+		}
+	}
+	diskLen := int64(0)
+	if off < memStart {
+		diskLen = int64(len(want))
+		if off+diskLen > memStart {
+			diskLen = memStart - off
+		}
 	}
 	m.mu.Unlock()
 
-	n := tailN
-	if off < tailStart {
-		// Disk part. Bytes below tailStart are immutable once written, so
-		// reading outside the lock is safe even if a Flush races with us.
-		diskLen := int64(len(want))
-		if off+diskLen > tailStart {
-			diskLen = tailStart - off
-		}
+	if diskLen > 0 {
+		// Bytes below memStart are durable and immutable once written, so
+		// reading outside the lock is safe even if a flush races with us.
 		rn, err := m.f.ReadAt(want[:diskLen], off)
 		if err != nil && !(errors.Is(err, io.EOF) && int64(rn) == diskLen) {
 			return rn, fmt.Errorf("wal: read at %d: %w", off, err)
@@ -196,9 +364,8 @@ func (m *Manager) readAt(buf []byte, off int64, countIO bool) (int, error) {
 			m.dev.ChargeRead(diskLen, false)
 			m.UndoReads.Add(1)
 		}
-		n += rn
 	}
-	return n, nil
+	return len(want), nil
 }
 
 // Read fetches the record at lsn. Reads go through a block cache; a cache
@@ -327,45 +494,4 @@ func (m *Manager) Scan(from LSN, fn func(*Record) (bool, error)) error {
 	}
 	m.dev.ChargeRead(charged, true)
 	return nil
-}
-
-// blockCache is a small LRU cache of fixed-size log blocks.
-type blockCache struct {
-	mu    sync.Mutex
-	max   int
-	items map[int64][]byte
-	order []int64 // FIFO-with-touch approximation of LRU
-}
-
-func newBlockCache(max int) *blockCache {
-	return &blockCache{max: max, items: make(map[int64][]byte, max)}
-}
-
-func (c *blockCache) get(idx int64) []byte {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.items[idx]
-}
-
-func (c *blockCache) put(idx int64, blk []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.items[idx]; ok {
-		c.items[idx] = blk
-		return
-	}
-	for len(c.items) >= c.max && len(c.order) > 0 {
-		victim := c.order[0]
-		c.order = c.order[1:]
-		delete(c.items, victim)
-	}
-	c.items[idx] = blk
-	c.order = append(c.order, idx)
-}
-
-func (c *blockCache) clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.items = make(map[int64][]byte, c.max)
-	c.order = c.order[:0]
 }

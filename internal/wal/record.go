@@ -14,6 +14,13 @@
 //
 // LSNs are byte offsets into the log plus one, so they are strictly
 // monotonic and a record can be fetched by LSN with a single random read.
+//
+// The write path is a pipelined group commit (see Manager): appends frame
+// records — varint-encoded, checksummed — into a double-buffered in-memory
+// tail outside the manager lock, and committers wait on WaitDurable, which
+// batches many commits into one physical log write. Random reads are served
+// through a sharded second-chance block cache so concurrent snapshot-undo
+// and recovery readers do not contend.
 package wal
 
 import (
@@ -177,11 +184,44 @@ func (r *Record) IsPageOp() bool {
 	return false
 }
 
-const recHeaderSize = 1 + 1 + 1 + 8 + 8 + 4 + 4 + 8 + 8 + 8 + 2 + 8 // fixed fields
+// Record bodies are varint-encoded: three fixed identification bytes
+// (Type, CLRType, Flags) followed by the numeric fields as uvarints
+// (WallClock as a zigzag varint — virtual clocks can start before the
+// epoch) and the three payloads, each preceded by a uvarint length. The
+// fixed encoding this replaced spent ~90 bytes per record on mostly-small
+// fields; a typical slot operation now carries ~25 bytes of header, which
+// directly cuts log volume, commit-path flush bandwidth and CRC work.
+
+// uvlen returns the uvarint width of v.
+func uvlen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// vlen returns the zigzag varint width of v.
+func vlen(v int64) int {
+	return uvlen(uint64(v)<<1 ^ uint64(v>>63))
+}
 
 // marshaledSize returns the body size of the record (excluding framing).
 func (r *Record) marshaledSize() int {
-	return recHeaderSize + 4 + len(r.OldData) + 4 + len(r.NewData) + 4 + len(r.Extra)
+	return 3 +
+		uvlen(r.TxnID) +
+		uvlen(uint64(r.PrevLSN)) +
+		uvlen(uint64(r.PageID)) +
+		uvlen(uint64(r.ObjectID)) +
+		uvlen(uint64(r.PrevPageLSN)) +
+		uvlen(uint64(r.UndoNextLSN)) +
+		uvlen(uint64(r.PrevImageLSN)) +
+		uvlen(uint64(r.Slot)) +
+		vlen(r.WallClock) +
+		uvlen(uint64(len(r.OldData))) + len(r.OldData) +
+		uvlen(uint64(len(r.NewData))) + len(r.NewData) +
+		uvlen(uint64(len(r.Extra))) + len(r.Extra)
 }
 
 // ApproxSize returns the record's on-disk footprint including framing.
@@ -189,28 +229,24 @@ func (r *Record) ApproxSize() int { return r.marshaledSize() + frameHeader }
 
 // marshal appends the record body to dst and returns the extended slice.
 func (r *Record) marshal(dst []byte) []byte {
-	var tmp [8]byte
-	put32 := func(v uint32) {
-		binary.LittleEndian.PutUint32(tmp[:4], v)
-		dst = append(dst, tmp[:4]...)
-	}
-	put64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(tmp[:8], v)
-		dst = append(dst, tmp[:8]...)
+	var tmp [binary.MaxVarintLen64]byte
+	putU := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		dst = append(dst, tmp[:n]...)
 	}
 	dst = append(dst, byte(r.Type), byte(r.CLRType), r.Flags)
-	put64(r.TxnID)
-	put64(uint64(r.PrevLSN))
-	put32(r.PageID)
-	put32(r.ObjectID)
-	put64(uint64(r.PrevPageLSN))
-	put64(uint64(r.UndoNextLSN))
-	put64(uint64(r.PrevImageLSN))
-	binary.LittleEndian.PutUint16(tmp[:2], r.Slot)
-	dst = append(dst, tmp[:2]...)
-	put64(uint64(r.WallClock))
+	putU(r.TxnID)
+	putU(uint64(r.PrevLSN))
+	putU(uint64(r.PageID))
+	putU(uint64(r.ObjectID))
+	putU(uint64(r.PrevPageLSN))
+	putU(uint64(r.UndoNextLSN))
+	putU(uint64(r.PrevImageLSN))
+	putU(uint64(r.Slot))
+	n := binary.PutVarint(tmp[:], r.WallClock)
+	dst = append(dst, tmp[:n]...)
 	for _, b := range [][]byte{r.OldData, r.NewData, r.Extra} {
-		put32(uint32(len(b)))
+		putU(uint64(len(b)))
 		dst = append(dst, b...)
 	}
 	return dst
@@ -219,7 +255,7 @@ func (r *Record) marshal(dst []byte) []byte {
 // unmarshal parses a record body. The returned record's byte slices alias
 // src; Manager.Read returns private copies.
 func unmarshal(src []byte) (*Record, error) {
-	if len(src) < recHeaderSize+12 {
+	if len(src) < 3 {
 		return nil, fmt.Errorf("wal: record body too short: %d bytes", len(src))
 	}
 	r := &Record{}
@@ -227,33 +263,37 @@ func unmarshal(src []byte) (*Record, error) {
 	r.CLRType = Type(src[1])
 	r.Flags = src[2]
 	off := 3
-	get32 := func() uint32 {
-		v := binary.LittleEndian.Uint32(src[off:])
-		off += 4
-		return v
-	}
-	get64 := func() uint64 {
-		v := binary.LittleEndian.Uint64(src[off:])
-		off += 8
-		return v
-	}
-	r.TxnID = get64()
-	r.PrevLSN = LSN(get64())
-	r.PageID = get32()
-	r.ObjectID = get32()
-	r.PrevPageLSN = LSN(get64())
-	r.UndoNextLSN = LSN(get64())
-	r.PrevImageLSN = LSN(get64())
-	r.Slot = binary.LittleEndian.Uint16(src[off:])
-	off += 2
-	r.WallClock = int64(get64())
-	for _, dst := range []*[]byte{&r.OldData, &r.NewData, &r.Extra} {
-		if off+4 > len(src) {
-			return nil, fmt.Errorf("wal: truncated record body at %d", off)
+	var bad bool
+	getU := func() uint64 {
+		v, n := binary.Uvarint(src[off:])
+		if n <= 0 {
+			bad = true
+			return 0
 		}
-		n := int(get32())
-		if off+n > len(src) {
-			return nil, fmt.Errorf("wal: field of %d bytes overruns body", n)
+		off += n
+		return v
+	}
+	r.TxnID = getU()
+	r.PrevLSN = LSN(getU())
+	r.PageID = uint32(getU())
+	r.ObjectID = uint32(getU())
+	r.PrevPageLSN = LSN(getU())
+	r.UndoNextLSN = LSN(getU())
+	r.PrevImageLSN = LSN(getU())
+	r.Slot = uint16(getU())
+	if wc, n := binary.Varint(src[off:]); n > 0 {
+		r.WallClock = wc
+		off += n
+	} else {
+		bad = true
+	}
+	if bad {
+		return nil, fmt.Errorf("wal: truncated record header at %d", off)
+	}
+	for _, dst := range []*[]byte{&r.OldData, &r.NewData, &r.Extra} {
+		n := int(getU())
+		if bad || n < 0 || off+n > len(src) {
+			return nil, fmt.Errorf("wal: field of %d bytes overruns body at %d", n, off)
 		}
 		if n > 0 {
 			*dst = src[off : off+n]
