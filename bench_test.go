@@ -19,6 +19,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/storage/media"
 	"repro/internal/tpcc"
+	"repro/internal/vclock"
 )
 
 // commitBenchOptions builds the engine options for one BenchmarkCommitThroughput
@@ -301,6 +302,125 @@ func BenchmarkSec63Concurrent(b *testing.B) {
 		b.ReportMetric(res.WithAsOfTpm, "tpm-with-asof")
 		b.ReportMetric(res.Ratio, "throughput-ratio")
 		b.ReportMetric(float64(res.Snapshots), "snapshots")
+		b.ReportMetric(res.AvgSnapCreate.Seconds()*1e3, "snap-create-ms")
+		b.ReportMetric(res.AvgAsOfQuery.Seconds()*1e3, "asof-query-ms")
+	}
+}
+
+// BenchmarkAsOfQuery measures the as-of snapshot read path end to end:
+// snapshot creation latency, point lookups against a cold side file (every
+// first page touch rewinds through the log chain), point lookups against a
+// warm side file (pages already materialized), and the paper's stock-level
+// scan. The workload churns the database after the as-of target so the
+// rewinds have real work to do.
+func BenchmarkAsOfQuery(b *testing.B) {
+	clock := vclock.New(time.Time{})
+	db, err := Open(b.TempDir(), Options{
+		Now:             clock.Now,
+		BufferFrames:    4096,
+		CheckpointEvery: 4 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	scale := benchScale()
+	if err := tpcc.Load(db, scale); err != nil {
+		b.Fatal(err)
+	}
+	d := tpcc.NewDriver(db, scale, clock)
+	if _, err := d.Run(1000, 4); err != nil {
+		b.Fatal(err)
+	}
+	past := clock.Now()
+	clock.Advance(6 * time.Minute)
+	if _, err := d.Run(1000, 4); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+
+	mount := func(b *testing.B) *Snapshot {
+		b.Helper()
+		s, err := SnapshotAsOf(db, past)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.WaitUndo(); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	keyFor := func(i int) Row {
+		return Row{
+			Int64(int64(i%scale.Warehouses + 1)),
+			Int64(int64(i%scale.DistrictsPerW + 1)),
+			Int64(int64(i%scale.CustomersPerD + 1)),
+		}
+	}
+	population := scale.Warehouses * scale.DistrictsPerW * scale.CustomersPerD
+
+	b.Run("create", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := mount(b)
+			s.Close()
+		}
+		if b.N > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/create")
+		}
+	})
+	b.Run("pointlookup-cold", func(b *testing.B) {
+		s := mount(b)
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := s.Get(tpcc.TableCustomer, keyFor(i)); err != nil || !ok {
+				b.Fatalf("get: ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	b.Run("pointlookup-warm", func(b *testing.B) {
+		s := mount(b)
+		defer s.Close()
+		for i := 0; i < population; i++ {
+			if _, _, err := s.Get(tpcc.TableCustomer, keyFor(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := s.Get(tpcc.TableCustomer, keyFor(i)); err != nil || !ok {
+				b.Fatalf("get: ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	b.Run("stocklevel-scan", func(b *testing.B) {
+		s := mount(b)
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tpcc.StockLevel(s, i%scale.Warehouses+1, i%scale.DistrictsPerW+1, 15); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAsOfReadPath runs the chain-reader vs per-record-Read A/B
+// (exp.AsOfReadPath, also `asofbench -fig asofread`) and reports both
+// arms' per-record costs.
+func BenchmarkAsOfReadPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AsOfReadPath(b.TempDir(), 1200, 4, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Chain.NsPerRecord, "chain-ns/rec")
+		b.ReportMetric(res.PerRecord.NsPerRecord, "perrecord-ns/rec")
+		b.ReportMetric(res.Speedup, "chain-speedup")
+		b.ReportMetric(float64(res.Chain.LogReads), "chain-log-reads")
+		b.ReportMetric(float64(res.PerRecord.LogReads), "perrecord-log-reads")
 	}
 }
 

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, 11, 63, 64, commit or all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, 11, 63, 64, commit, asofread or all")
 		txns    = flag.Int("txns", 3000, "transactions of benchmark history")
 		clients = flag.Int("clients", 4, "concurrent benchmark clients")
 		items   = flag.Int("items", 6000, "TPC-C items (database size driver)")
@@ -104,6 +104,13 @@ func main() {
 	if wants("63") {
 		fmt.Printf("\n== §6.3: concurrent as-of query impact (%d txns, %d clients) ==\n", *txns, *clients)
 		if _, err := exp.Concurrent(dir+"/sec63", *txns, *clients, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if wants("asofread") {
+		fmt.Printf("\n== As-of read path: chain reader vs per-record Read (%d txns, %d clients) ==\n", *txns, *clients)
+		if _, err := exp.AsOfReadPath(dir+"/asofread", *txns, *clients, os.Stdout); err != nil {
 			fatal(err)
 		}
 	}

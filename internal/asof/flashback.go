@@ -40,15 +40,34 @@ type CommitInfo struct {
 // FindCommits scans the log for transactions committed in [from, to],
 // oldest first. It is the discovery step before UndoTransaction: "what
 // changed around the time of the mistake?"
+//
+// The scan starts at the newest time→LSN sample at or before from (when
+// the sparse index covers it) instead of the head of the log. A committing
+// transaction may have begun before that window; its begin LSN and
+// operation count are backfilled exactly by walking its PrevLSN chain
+// through a ChainReader.
 func FindCommits(db *engine.DB, from, to time.Time) ([]CommitInfo, error) {
 	fromNS, toNS := from.UnixNano(), to.UnixNano()
+	start := db.Log().TruncationPoint()
+	// One sample of slack: commit wall-clocks can invert slightly around
+	// the window boundary, and unlike ResolveTime this API must not miss a
+	// qualifying commit whose wall-clock inverted with the floor sample's.
+	if s, ok := db.Log().TimeFloorBack(fromNS, 1); ok && s.LSN > start {
+		start = s.LSN
+	}
 	type txState struct {
 		begin wal.LSN
 		ops   int
 	}
+	var rdr *wal.ChainReader
+	defer func() {
+		if rdr != nil {
+			rdr.Close()
+		}
+	}()
 	open := make(map[uint64]*txState)
 	var out []CommitInfo
-	err := db.Log().Scan(db.Log().TruncationPoint(), func(rec *wal.Record) (bool, error) {
+	err := db.Log().Scan(start, func(rec *wal.Record) (bool, error) {
 		switch rec.Type {
 		case wal.TypeBegin:
 			open[rec.TxnID] = &txState{begin: rec.LSN}
@@ -72,12 +91,54 @@ func FindCommits(db *engine.DB, from, to time.Time) ([]CommitInfo, error) {
 			if st != nil {
 				info.BeginLSN = st.begin
 				info.Ops = st.ops
+			} else {
+				// Began before the scan window: reconstruct begin/ops from
+				// the transaction's own backward chain.
+				if rdr == nil {
+					rdr = db.Log().ChainReader()
+				}
+				begin, ops, err := txnChainInfo(rdr, rec.PrevLSN)
+				if err != nil {
+					// A chain reaching below the retention boundary keeps
+					// zero begin/ops, matching the full scan's accounting
+					// for transactions cut by truncation.
+					if !errors.Is(err, wal.ErrTruncated) {
+						return false, err
+					}
+				} else {
+					info.BeginLSN = begin
+					info.Ops = ops
+				}
 			}
 			out = append(out, info)
 		}
 		return true, nil
 	})
 	return out, err
+}
+
+// txnChainInfo walks a transaction's PrevLSN chain backwards from its last
+// record, returning its begin LSN and row-operation count (CLR-compensated
+// regions skipped via UndoNextLSN, matching the forward scan's accounting).
+func txnChainInfo(rdr *wal.ChainReader, last wal.LSN) (wal.LSN, int, error) {
+	begin, ops := wal.NilLSN, 0
+	for cur := last; cur != wal.NilLSN; {
+		rec, err := rdr.Read(cur)
+		if err != nil {
+			return wal.NilLSN, 0, fmt.Errorf("asof: commit-chain read %v: %w", cur, err)
+		}
+		next := rec.PrevLSN
+		switch rec.Type {
+		case wal.TypeBegin:
+			return rec.LSN, ops, nil
+		case wal.TypeCLR:
+			next = rec.UndoNextLSN
+		case wal.TypeInsert, wal.TypeDelete, wal.TypeUpdate:
+			ops++
+		}
+		cur = next
+	}
+	return begin, ops, nil
 }
 
 // ErrUndoConflict is returned when a row touched by the transaction being
@@ -127,9 +188,15 @@ func UndoTransaction(db *engine.DB, commitLSN wal.LSN, force bool) (UndoReport, 
 		return report, err
 	}
 
+	// The compensating walk is a per-transaction backward chain: stream it
+	// through a ChainReader. Each record is fully consumed (rows decoded
+	// and applied) before the next hop, so the reusable scratch record is
+	// safe here.
+	rdr := db.Log().ChainReader()
+	defer rdr.Close()
 	cur := commit.PrevLSN
 	for cur != wal.NilLSN {
-		rec, err := db.Log().Read(cur)
+		rec, err := rdr.Read(cur)
 		if err != nil {
 			tx.Rollback()
 			return report, err

@@ -35,17 +35,22 @@ type Snapshot struct {
 	point SplitPoint
 	asOf  time.Time
 
-	side  *sidefile.File
-	pool  *buffer.Pool
-	stats Stats
+	side   *sidefile.File
+	writer *sidefile.Writer // async write-behind front for side
+	pool   *buffer.Pool
+	stats  Stats
 
 	locks     *txn.LockManager // §5.2: locks of in-flight txns, reacquired
 	lockOwner uint64           // lock-manager id owning the reacquired locks
 	pending   atomic.Int32     // in-flight transactions not yet undone
 	queryIDs  atomic.Uint64    // ephemeral reader ids for the lock barrier
 
+	// treeLocks maps B-Tree roots to snapshot-local tree locks; read-mostly
+	// after the first few queries, hence sync.Map rather than a mutexed map
+	// (concurrent snapshot scans hit TreeLock on every descent).
+	treeLocks sync.Map // page.ID -> *sync.RWMutex
+
 	mu        sync.Mutex
-	treeLocks map[page.ID]*sync.RWMutex
 	undoErr   error
 	undoDone  chan struct{}
 	nextLocal uint32
@@ -81,9 +86,17 @@ func CreateSnapshotAtLSN(db *engine.DB, split wal.LSN, sideDev *media.Device) (*
 func newSnapshot(db *engine.DB, point SplitPoint, asOf time.Time, sideDev *media.Device) (*Snapshot, error) {
 	// "...performs a checkpoint to make sure that all pages of the primary
 	// database with LSNs less than or equal to SplitLSN are made durable"
-	// (§5.1). With that done, the snapshot's redo pass needs no page reads.
-	if err := db.Checkpoint(); err != nil {
-		return nil, err
+	// (§5.1). A flush-all checkpoint that *began* at or after the SplitLSN
+	// already guarantees exactly that (every page whose last modification
+	// is ≤ SplitLSN was either clean or flushed by it), so repeated
+	// snapshot mounts against an already-checkpointed region skip the
+	// checkpoint — it is by far the dominant cost of mounting a snapshot on
+	// a busy system. With that done, the snapshot's redo pass needs no page
+	// reads.
+	if mark, ok := db.LastCheckpointMark(); !ok || mark.Begin < point.SplitLSN {
+		if err := db.Checkpoint(); err != nil {
+			return nil, err
+		}
 	}
 	name := fmt.Sprintf("snap-%d.side", time.Now().UnixNano())
 	side, err := sidefile.Create(filepath.Join(db.Dir(), name), sideDev)
@@ -95,14 +108,14 @@ func newSnapshot(db *engine.DB, point SplitPoint, asOf time.Time, sideDev *media
 		point:     point,
 		asOf:      asOf,
 		side:      side,
+		writer:    sidefile.NewWriter(side),
 		locks:     txn.NewLockManager(30 * time.Second),
 		lockOwner: 1,
-		treeLocks: make(map[page.ID]*sync.RWMutex),
 		undoDone:  make(chan struct{}),
 		nextLocal: snapAllocBase,
 	}
 	s.pool = buffer.New(buffer.Config{
-		Frames:    256,
+		Frames:    db.SnapshotFrames(),
 		Source:    (*snapSource)(s),
 		Checksums: true,
 	})
@@ -114,7 +127,9 @@ func newSnapshot(db *engine.DB, point SplitPoint, asOf time.Time, sideDev *media
 	// queries cannot observe their uncommitted effects before undo fixes
 	// the pages.
 	if err := s.reacquireLocks(); err != nil {
+		s.writer.Close()
 		side.Close()
+		s.pool.Destroy()
 		return nil, err
 	}
 
@@ -136,8 +151,9 @@ func (s *Snapshot) AsOfTime() time.Time { return s.asOf }
 // Stats exposes undo-work counters for the experiments.
 func (s *Snapshot) Stats() *Stats { return &s.stats }
 
-// SidePages returns the number of pages materialized in the side file.
-func (s *Snapshot) SidePages() int { return s.side.Len() }
+// SidePages returns the number of pages materialized for the snapshot
+// (persisted in the side file or pending in its write-behind queue).
+func (s *Snapshot) SidePages() int { return s.writer.Len() }
 
 // WaitUndo blocks until background undo completes (tests and benchmarks).
 func (s *Snapshot) WaitUndo() error {
@@ -157,23 +173,30 @@ func (s *Snapshot) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	return s.side.Close()
+	err := s.writer.Close() // drain the write-behind queue
+	if cerr := s.side.Close(); err == nil {
+		err = cerr
+	}
+	s.pool.Destroy() // recycle the snapshot's frames
+	return err
 }
 
 // --- §5.3 page access protocol ---
 
 // snapSource implements buffer.Source for the snapshot pool:
 //
-//	a. if the page exists in the sparse side file, return it;
+//	a. if the page is materialized for the snapshot (side file or its
+//	   write-behind queue), return it;
 //	b. else read the page from the primary database (a latched copy through
 //	   the primary buffer pool);
 //	c. call PreparePageAsOf(page, SplitLSN) to undo it to the split;
-//	d. write the prepared page to the side file.
+//	d. enqueue the prepared page for the side file — the write happens on a
+//	   background goroutine, so the rewound page is served immediately.
 type snapSource Snapshot
 
 func (src *snapSource) ReadPage(id page.ID, buf []byte) error {
 	s := (*Snapshot)(src)
-	ok, err := s.side.ReadPage(id, buf)
+	ok, err := s.writer.Read(id, buf)
 	if err != nil {
 		return err
 	}
@@ -194,11 +217,14 @@ func (src *snapSource) ReadPage(id page.ID, buf []byte) error {
 		return err
 	}
 	p.WriteChecksum()
-	return s.side.WritePage(id, buf)
+	return s.writer.Enqueue(id, buf)
 }
 
 func (src *snapSource) WritePage(id page.ID, buf []byte) error {
-	return (*Snapshot)(src).side.WritePage(id, buf)
+	// Dirty snapshot pages (undo fixes, snapshot-local allocations) funnel
+	// through the same write-behind queue as freshly rewound pages, so
+	// per-page latest-wins ordering holds across both paths.
+	return (*Snapshot)(src).writer.Enqueue(id, buf)
 }
 
 // --- btree.Store implementation (read path for queries, write path for
@@ -275,16 +301,15 @@ func (s *Snapshot) Reformat(h btree.Handle, objectID uint32, t page.Type, level 
 func (s *Snapshot) BeginNTA() uint64 { return 0 }
 func (s *Snapshot) EndNTA(uint64)    {}
 
-// TreeLock returns a snapshot-local tree lock.
+// TreeLock returns a snapshot-local tree lock. Lock-free on the hot path:
+// every query descent fetches the tree lock, so the read-mostly map must
+// not serialize concurrent readers on the snapshot mutex.
 func (s *Snapshot) TreeLock(root page.ID) *sync.RWMutex {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.treeLocks[root]
-	if !ok {
-		l = &sync.RWMutex{}
-		s.treeLocks[root] = l
+	if l, ok := s.treeLocks.Load(root); ok {
+		return l.(*sync.RWMutex)
 	}
-	return l
+	l, _ := s.treeLocks.LoadOrStore(root, &sync.RWMutex{})
+	return l.(*sync.RWMutex)
 }
 
 // --- §5.2: lock reacquisition and background logical undo ---
@@ -294,10 +319,12 @@ func (s *Snapshot) TreeLock(root page.ID) *sync.RWMutex {
 // SplitLSN. Queries take the shared side of these locks, so they block on
 // exactly the rows whose undo is still pending.
 func (s *Snapshot) reacquireLocks() error {
+	rdr := s.db.Log().ChainReader()
+	defer rdr.Close()
 	for _, e := range s.point.ATT {
 		cur := e.LastLSN
 		for cur != wal.NilLSN {
-			rec, err := s.db.Log().Read(cur)
+			rec, err := rdr.Read(cur)
 			if err != nil {
 				return fmt.Errorf("asof: lock reacquisition read %v: %w", cur, err)
 			}
@@ -327,19 +354,62 @@ func (s *Snapshot) lockRowX(objectID uint32, key []byte) {
 	_ = s.locks.Lock(s.lockOwner, txn.Key{Object: objectID, Row: string(key)}, txn.Exclusive)
 }
 
-// backgroundUndo logically undoes each in-flight transaction against the
+// backgroundUndo logically undoes the in-flight transactions against the
 // snapshot (§5.2): rows are re-located by key through the snapshot's as-of
 // B-Trees and inverse operations applied, the fixed pages landing in the
 // side file. Queries proceed concurrently, blocked only by the reacquired
 // locks of rows not yet undone.
+//
+// Transactions are undone in parallel: they held exclusive row locks at
+// the SplitLSN, so their row sets are disjoint, and page-level ordering is
+// enforced by the snapshot pool's latches (each worker walks its own chain
+// through a private ChainReader). Workers are capped so undo cannot starve
+// concurrent snapshot queries.
 func (s *Snapshot) backgroundUndo() {
 	defer close(s.undoDone)
+	att := s.point.ATT
+	// Cap by transaction count, not GOMAXPROCS: undo workers spend much of
+	// their time blocked on page latches, tree locks and log-block reads,
+	// so a few goroutines overlap usefully even on one core.
+	workers := len(att)
+	if workers > 4 {
+		workers = 4
+	}
 	var firstErr error
-	for _, e := range s.point.ATT {
-		if err := s.undoTxn(e); err != nil && firstErr == nil {
-			firstErr = err
+	if workers <= 1 {
+		for _, e := range att {
+			if err := s.undoTxn(e); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			s.pending.Add(-1)
 		}
-		s.pending.Add(-1)
+	} else {
+		var (
+			wg    sync.WaitGroup
+			errMu sync.Mutex
+			work  = make(chan wal.ATTEntry)
+		)
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for e := range work {
+					if err := s.undoTxn(e); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+					}
+					s.pending.Add(-1)
+				}
+			}()
+		}
+		for _, e := range att {
+			work <- e
+		}
+		close(work)
+		wg.Wait()
 	}
 	// All transactions undone: release every reacquired lock.
 	s.locks.ReleaseAll(s.lockOwner)
@@ -351,9 +421,11 @@ func (s *Snapshot) backgroundUndo() {
 }
 
 func (s *Snapshot) undoTxn(e wal.ATTEntry) error {
+	rdr := s.db.Log().ChainReader()
+	defer rdr.Close()
 	cur := e.LastLSN
 	for cur != wal.NilLSN {
-		rec, err := s.db.Log().Read(cur)
+		rec, err := rdr.Read(cur)
 		if err != nil {
 			return fmt.Errorf("asof: undo read %v: %w", cur, err)
 		}

@@ -32,9 +32,13 @@ type SplitPoint struct {
 
 // ResolveTime translates a wall-clock time into a SplitPoint, mirroring
 // §5.1: the search first narrows the log region using the wall-clock times
-// in checkpoint records (walking the checkpoint chain backwards), then
+// in checkpoint records (walking the checkpoint chain backwards) and the
+// log's sparse time→LSN index (commit samples, binary-searched), then
 // scans forward using transaction commit records to find the actual
-// SplitLSN — the newest commit at or before the requested time.
+// SplitLSN — the newest commit at or before the requested time. With the
+// sparse index populated, the commit scan covers at most one sample
+// interval (64 KiB of log) instead of the whole checkpoint-to-target
+// region.
 func ResolveTime(db *engine.DB, target time.Time) (SplitPoint, error) {
 	now := db.Now()
 	if retention := db.Retention(); retention > 0 && target.Before(now.Add(-retention)) {
@@ -49,10 +53,17 @@ func ResolveTime(db *engine.DB, target time.Time) (SplitPoint, error) {
 		return SplitPoint{}, err
 	}
 
-	// Phase 2: scan commit records forward from the checkpoint to find the
-	// SplitLSN.
-	split := ckptBegin
-	err = db.Log().Scan(ckptBegin, func(rec *wal.Record) (bool, error) {
+	// Phase 1b: tighten the scan window with the sparse time index. A
+	// sample is a commit at or before the target, so it is itself a valid
+	// SplitLSN fallback and the newest qualifying commit cannot precede it.
+	scanFrom, split := ckptBegin, ckptBegin
+	if s, ok := db.Log().TimeFloor(targetNS); ok && s.LSN > scanFrom {
+		scanFrom, split = s.LSN, s.LSN
+	}
+
+	// Phase 2: scan commit records forward from the window start to find
+	// the SplitLSN.
+	err = db.Log().Scan(scanFrom, func(rec *wal.Record) (bool, error) {
 		if rec.Type == wal.TypeCommit {
 			if rec.WallClock <= targetNS {
 				split = rec.LSN
@@ -78,20 +89,38 @@ func ResolveLSN(db *engine.DB, split wal.LSN) (SplitPoint, error) {
 	return resolveAt(db, split, ckptBegin, ckptEnd)
 }
 
-// resolveAt runs the analysis pass (§5.2): from the checkpoint to the
-// SplitLSN, rebuild the table of transactions in flight at the SplitLSN.
+// resolveAt runs the analysis pass (§5.2): rebuild the table of
+// transactions in flight at the SplitLSN by replaying log records over a
+// seed ATT.
 //
-// The ATT is seeded from the checkpoint-end record BEFORE the scan, exactly
-// like crash recovery's analysis: the checkpoint's ATT snapshot is taken
-// mid-checkpoint, so a transaction that committed between the snapshot and
-// the end record appears in the seed AND has a commit record inside the
-// scanned region — seeding first lets the scanned commit remove it. (The
-// old seed-when-scanned-past ordering re-added such transactions after
-// their commit had been processed, making snapshots undo committed work.)
+// The seed is the newest available capture at or before the split: an
+// engine AnalysisMark (a commitGate ATT capture taken every ~256 KiB of
+// log) when one covers the split, else the checkpoint-end record's ATT.
+// Marks shrink the replayed window from O(checkpoint interval) to O(mark
+// interval) — on a busy system the analysis scan, not the commit search,
+// dominates snapshot-creation cost.
+//
+// The ATT is seeded BEFORE the scan, exactly like crash recovery's
+// analysis: the capture is taken mid-interval, so a transaction that
+// committed between the capture and its end boundary appears in the seed
+// AND has a commit record inside the scanned region — seeding first lets
+// the scanned commit remove it. (The old seed-when-scanned-past ordering
+// re-added such transactions after their commit had been processed, making
+// snapshots undo committed work.)
 func resolveAt(db *engine.DB, split, ckptBegin, ckptEnd wal.LSN) (SplitPoint, error) {
 	att := make(map[uint64]*wal.ATTEntry)
+	scanFrom := ckptBegin
 	var scanned int64
-	if ckptEnd != wal.NilLSN && ckptEnd <= split {
+	seeded := false
+	if mark, ok := db.AnalysisMarkAtOrBefore(split); ok && mark.Begin > scanFrom {
+		for i := range mark.ATT {
+			e := mark.ATT[i]
+			att[e.TxnID] = &e
+		}
+		scanFrom = mark.Begin
+		seeded = true
+	}
+	if !seeded && ckptEnd != wal.NilLSN && ckptEnd <= split {
 		rec, err := db.Log().Read(ckptEnd)
 		if err != nil {
 			return SplitPoint{}, fmt.Errorf("asof: checkpoint end %v: %w", ckptEnd, err)
@@ -105,7 +134,7 @@ func resolveAt(db *engine.DB, split, ckptBegin, ckptEnd wal.LSN) (SplitPoint, er
 			att[e.TxnID] = &e
 		}
 	}
-	err := db.Log().Scan(ckptBegin, func(rec *wal.Record) (bool, error) {
+	err := db.Log().Scan(scanFrom, func(rec *wal.Record) (bool, error) {
 		if rec.LSN > split {
 			return false, nil
 		}

@@ -45,6 +45,9 @@ func (db *DB) Checkpoint() error {
 			BeginLSN: beginLSN,
 			PrevEnd:  prevEnd,
 			ATT:      db.activeATT(),
+			// Piggyback the time→LSN samples taken since the previous
+			// checkpoint so the sparse index survives restarts (§5.1).
+			Times: db.log.TimeSamplesSince(prevEnd),
 		}),
 	}
 	endLSN, err := db.log.AppendFlush(end)
@@ -115,6 +118,7 @@ func (db *DB) truncateForRetention() {
 			}
 			_ = db.log.Truncate(cut)
 			db.pruneCkptIndex(cut)
+			db.pruneATTMarks(cut)
 			return
 		}
 		cur = data.PrevEnd

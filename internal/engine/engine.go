@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,17 @@ type Options struct {
 	LogDevice  *media.Device
 	// BufferFrames sizes the buffer pool (default 512 pages = 4 MiB).
 	BufferFrames int
+	// SnapshotBufferFrames sizes the private buffer pool of each as-of
+	// snapshot (default 256 pages = 2 MiB). Larger values keep more rewound
+	// pages latch-accessible across snapshot queries at the cost of
+	// per-snapshot memory; size it up when snapshots are long-lived and
+	// query-heavy.
+	SnapshotBufferFrames int
+	// LogCacheBlocks sizes the WAL's random-read block cache in 32 KiB
+	// blocks (default 256 = 8 MiB). Chain walks for as-of queries stream
+	// through this cache; size it toward the hot log window when concurrent
+	// snapshot queries rewind far back.
+	LogCacheBlocks int
 	// PageImageEvery logs a full page image every Nth modification of a
 	// page (§6.1); 0 disables image logging. This is the N swept by
 	// Figures 5 and 6.
@@ -85,6 +97,9 @@ func (o *Options) withDefaults() Options {
 	if out.BufferFrames <= 0 {
 		out.BufferFrames = 512
 	}
+	if out.SnapshotBufferFrames <= 0 {
+		out.SnapshotBufferFrames = 256
+	}
 	if out.Retention <= 0 {
 		out.Retention = 24 * time.Hour
 	}
@@ -108,12 +123,14 @@ type DB struct {
 
 	locks *txn.LockManager
 
-	mu         sync.Mutex // guards boot and ckpt bookkeeping
-	txns       [txnShards]txnShard
-	treeLocks  sync.Map // page.ID -> *sync.RWMutex; read-mostly after warmup
-	boot       bootBlock
-	lastCkptAt wal.LSN // log size when the last auto checkpoint ran
-	ckptIndex  []CkptMark
+	mu            sync.Mutex // guards boot and ckpt bookkeeping
+	txns          [txnShards]txnShard
+	treeLocks     sync.Map // page.ID -> *sync.RWMutex; read-mostly after warmup
+	boot          bootBlock
+	lastCkptAt    wal.LSN // log size when the last auto checkpoint ran
+	ckptIndex     []CkptMark
+	attMarks      []AnalysisMark // volatile analysis seeds, LSN order
+	lastATTMarkAt wal.LSN        // log size when the last mark was taken
 
 	allocMu   sync.Mutex // serializes page allocation
 	allocHint map[uint32]uint32
@@ -201,6 +218,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	logm.SetGroupCommit(opts.GroupCommitMaxDelay, opts.GroupCommitMaxBytes)
+	logm.SetCacheBlocks(opts.LogCacheBlocks)
 	db := &DB{
 		opts:      opts,
 		dir:       dir,
@@ -406,6 +424,9 @@ func (db *DB) Dir() string { return db.dir }
 // Retention returns the configured undo interval (§4.3).
 func (db *DB) Retention() time.Duration { return db.opts.Retention }
 
+// SnapshotFrames returns the configured per-snapshot buffer pool size.
+func (db *DB) SnapshotFrames() int { return db.opts.SnapshotBufferFrames }
+
 // SetRetention adjusts the undo interval at runtime
 // (ALTER DATABASE ... SET UNDO_INTERVAL in the paper).
 func (db *DB) SetRetention(d time.Duration) {
@@ -436,6 +457,17 @@ type CkptMark struct {
 	End       wal.LSN
 }
 
+// LastCheckpointMark returns the most recent completed checkpoint's mark.
+// ok is false when no checkpoint has completed yet.
+func (db *DB) LastCheckpointMark() (CkptMark, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(db.ckptIndex) == 0 {
+		return CkptMark{}, false
+	}
+	return db.ckptIndex[len(db.ckptIndex)-1], true
+}
+
 // CheckpointIndex returns the checkpoint marks in LSN order (oldest first).
 func (db *DB) CheckpointIndex() []CkptMark {
 	db.mu.Lock()
@@ -446,9 +478,11 @@ func (db *DB) CheckpointIndex() []CkptMark {
 }
 
 // rebuildCkptIndex walks the on-disk checkpoint chain backwards once at
-// open time and materializes the in-memory index.
+// open time and materializes the in-memory index, reseeding the log's
+// sparse time→LSN index from the samples each checkpoint carried.
 func (db *DB) rebuildCkptIndex() error {
 	var marks []CkptMark
+	var samples []wal.TimeSample
 	cur := db.LastCheckpointEnd()
 	for cur != wal.NilLSN {
 		rec, err := db.log.Read(cur)
@@ -463,12 +497,16 @@ func (db *DB) rebuildCkptIndex() error {
 			return err
 		}
 		marks = append(marks, CkptMark{WallClock: rec.WallClock, Begin: data.BeginLSN, End: rec.LSN})
+		samples = append(samples, data.Times...)
 		cur = data.PrevEnd
 	}
-	// Reverse into LSN order.
+	// Reverse into LSN order (the walk collected newest-first; each
+	// checkpoint's own samples are already oldest-first, so sort once).
 	for i, j := 0, len(marks)-1; i < j; i, j = i+1, j-1 {
 		marks[i], marks[j] = marks[j], marks[i]
 	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].LSN < samples[j].LSN })
+	db.log.SeedTimeIndex(samples)
 	db.mu.Lock()
 	db.ckptIndex = marks
 	db.mu.Unlock()

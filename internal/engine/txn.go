@@ -443,6 +443,7 @@ func (tx *Txn) Commit() error {
 	}
 	tx.state.Store(int32(txnCommitted))
 	tx.finish()
+	tx.db.maybeATTMark()
 	tx.db.maybeAutoCheckpoint()
 	return nil
 }

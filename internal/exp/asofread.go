@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/asof"
+	"repro/internal/engine"
+	"repro/internal/storage/page"
+	"repro/internal/tpcc"
+	"repro/internal/vclock"
+	"repro/internal/wal"
+)
+
+// AsOfReadArm is one arm of the as-of read-path A/B: rewinding the same set
+// of page copies to the same SplitLSN via either the block-granular
+// ChainReader (PreparePageAsOf) or one locked, allocating Manager.Read per
+// chain record (PreparePageAsOfBaseline).
+type AsOfReadArm struct {
+	Name          string
+	Pages         int           // pages rewound
+	RecordsUndone int64         // chain records undone across all pages
+	Elapsed       time.Duration // wall time for the whole arm
+	NsPerRecord   float64
+	LogReads      int64 // physical log block reads during the arm
+}
+
+// AsOfReadResult is the paired comparison.
+type AsOfReadResult struct {
+	Chain     AsOfReadArm // ChainReader path (the default)
+	PerRecord AsOfReadArm // per-record Manager.Read baseline
+	Speedup   float64     // PerRecord time / Chain time
+}
+
+// AsOfReadPath builds a TPC-C history, selects every page whose chain
+// extends past a mid-history SplitLSN, and rewinds identical copies of
+// those pages through both read paths. Both arms run against a warmed
+// block cache, so the difference isolates per-record locking and
+// allocation, not disk behavior.
+func AsOfReadPath(dir string, txns, clients int, w io.Writer) (AsOfReadResult, error) {
+	var res AsOfReadResult
+	clock := vclock.New(time.Time{})
+	db, err := engine.Open(dir, engine.Options{
+		Now:             clock.Now,
+		BufferFrames:    4096,
+		CheckpointEvery: 4 << 20,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer db.Close()
+	scale := tpcc.DefaultConfig()
+	if err := tpcc.Load(db, scale); err != nil {
+		return res, err
+	}
+	d := tpcc.NewDriver(db, scale, clock)
+	// First half of the history, then the split, then the second half whose
+	// modifications the rewind has to undo.
+	if _, err := d.Run(txns/2, clients); err != nil {
+		return res, err
+	}
+	split := db.Log().NextLSN() - 1
+	clock.Advance(5 * time.Minute)
+	if _, err := d.Run(txns/2, clients); err != nil {
+		return res, err
+	}
+	if err := db.Checkpoint(); err != nil {
+		return res, err
+	}
+
+	// Collect copies of every page with history past the split.
+	var ids []page.ID
+	var copies [][]byte
+	for id := uint32(1); id < db.Data().PageCount(); id++ {
+		h, err := db.Pool().Fetch(page.ID(id), false)
+		if err != nil {
+			continue // never-allocated gap
+		}
+		if wal.LSN(h.Page().PageLSN()) > split {
+			ids = append(ids, page.ID(id))
+			copies = append(copies, append([]byte(nil), h.Page().Bytes()...))
+		}
+		h.Release()
+	}
+	if len(ids) == 0 {
+		return res, fmt.Errorf("exp: no pages to rewind (txns=%d too small?)", txns)
+	}
+
+	scratch := page.FromBytes(make([]byte, page.Size))
+	runArm := func(name string, stats *asof.Stats, prep func(*page.Page) error) (AsOfReadArm, error) {
+		arm := AsOfReadArm{Name: name, Pages: len(ids)}
+		// Warm the block cache so both arms measure the in-memory path.
+		for _, buf := range copies {
+			scratch.CopyFrom(buf)
+			if err := prep(scratch); err != nil {
+				return arm, err
+			}
+		}
+		undone0 := stats.RecordsUndone.Load()
+		reads0 := db.Log().UndoReads.Load()
+		start := time.Now()
+		for _, buf := range copies {
+			scratch.CopyFrom(buf)
+			if err := prep(scratch); err != nil {
+				return arm, err
+			}
+		}
+		arm.Elapsed = time.Since(start)
+		arm.RecordsUndone = stats.RecordsUndone.Load() - undone0
+		arm.LogReads = db.Log().UndoReads.Load() - reads0
+		if arm.RecordsUndone > 0 {
+			arm.NsPerRecord = float64(arm.Elapsed.Nanoseconds()) / float64(arm.RecordsUndone)
+		}
+		return arm, nil
+	}
+
+	var chainStats, baseStats asof.Stats
+	res.Chain, err = runArm("chain-reader", &chainStats, func(p *page.Page) error {
+		return asof.PreparePageAsOf(p, split, db.Log(), &chainStats)
+	})
+	if err != nil {
+		return res, err
+	}
+	res.PerRecord, err = runArm("per-record-read", &baseStats, func(p *page.Page) error {
+		return asof.PreparePageAsOfBaseline(p, split, db.Log(), &baseStats)
+	})
+	if err != nil {
+		return res, err
+	}
+	if res.Chain.Elapsed > 0 {
+		res.Speedup = float64(res.PerRecord.Elapsed) / float64(res.Chain.Elapsed)
+	}
+
+	if w != nil {
+		fmt.Fprintln(w, "\nAs-of read path — chain reader vs per-record Manager.Read (warm cache)")
+		rows := [][]string{}
+		for _, a := range []AsOfReadArm{res.Chain, res.PerRecord} {
+			rows = append(rows, []string{
+				a.Name, fmt.Sprintf("%d", a.Pages), fmt.Sprintf("%d", a.RecordsUndone),
+				a.Elapsed.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.0f", a.NsPerRecord), fmt.Sprintf("%d", a.LogReads),
+			})
+		}
+		table(w, []string{"arm", "pages", "records", "elapsed", "ns/record", "log reads"}, rows)
+		fmt.Fprintf(w, "chain-reader speedup: %.2fx\n", res.Speedup)
+	}
+	return res, nil
+}

@@ -8,8 +8,12 @@
 // frame never migrates between shards. Within a shard, the hit path takes
 // only the shard lock shared — pin counts and clock bits are atomics — so
 // concurrent fetches of resident pages (the overwhelmingly common case,
-// e.g. every B-Tree descent through a hot root) do not serialize; only
-// misses, which must evict and do I/O, take the shard lock exclusively.
+// e.g. every B-Tree descent through a hot root) do not serialize. Misses
+// take the shard lock exclusively only to evict and claim a frame: the
+// page read itself happens outside the shard lock, under the claimed
+// frame's exclusive latch, so concurrent hits on other pages in the shard
+// do not stall behind disk reads (duplicate fetches of the loading page
+// block on its latch instead of issuing duplicate I/O).
 //
 // The same pool type serves both the primary database and as-of snapshots:
 // a snapshot wires in a Source whose ReadPage implements the §5.3 protocol
@@ -98,6 +102,13 @@ func shardCount(n int) int {
 	return s
 }
 
+// framePages recycles the 8 KiB page buffers backing pool frames across
+// pool lifetimes. As-of snapshots each mount a private pool; on a busy
+// system mounting snapshots continuously, allocating (and GC-scanning)
+// megabytes of fresh frames per snapshot taxes every allocating goroutine
+// with GC assists — recycling makes pool construction allocation-light.
+var framePages = sync.Pool{New: func() any { return page.New() }}
+
 // New creates a pool.
 func New(cfg Config) *Pool {
 	if cfg.Frames <= 0 {
@@ -119,11 +130,29 @@ func New(cfg Config) *Pool {
 		s := &shard{cfg: &p.cfg, table: make(map[page.ID]*frame, n)}
 		s.frames = make([]*frame, n)
 		for j := range s.frames {
-			s.frames[j] = &frame{shard: s, id: page.InvalidID, pg: page.New()}
+			s.frames[j] = &frame{shard: s, id: page.InvalidID, pg: framePages.Get().(*page.Page)}
 		}
 		p.shards[i] = s
 	}
 	return p
+}
+
+// Destroy returns the pool's frame pages to the shared recycle pool. The
+// pool must not be used afterwards; pinned frames are skipped (leaked from
+// recycling) so a straggling handle cannot corrupt an unrelated pool.
+func (p *Pool) Destroy() {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.pins.Load() == 0 && f.pg != nil {
+				framePages.Put(f.pg)
+				f.pg = nil
+				f.id = page.InvalidID
+			}
+		}
+		s.table = nil
+		s.mu.Unlock()
+	}
 }
 
 // shardFor maps a page id to its shard with a multiplicative hash, so
@@ -194,64 +223,103 @@ func (p *Pool) fetch(id page.ID, excl, read bool) (*Handle, error) {
 		return nil, fmt.Errorf("buffer: fetch of invalid page id")
 	}
 	s := p.shardFor(id)
-	// Hit path: shared shard lock only. Pinning under the shared lock
-	// excludes eviction (which needs the exclusive lock and skips pinned
-	// frames), so the frame cannot be repurposed between lookup and pin.
-	s.mu.RLock()
-	if f, ok := s.table[id]; ok {
-		f.pins.Add(1)
-		f.used.Store(true)
+	for {
+		// Hit path: shared shard lock only. Pinning under the shared lock
+		// excludes eviction (which needs the exclusive lock and skips pinned
+		// frames), so the frame cannot be repurposed between lookup and pin.
+		s.mu.RLock()
+		f, ok := s.table[id]
+		if ok {
+			f.pins.Add(1)
+			f.used.Store(true)
+			s.mu.RUnlock()
+			s.hits.Add(1)
+			if h, ok := latchValid(f, id, excl); ok {
+				return h, nil
+			}
+			continue // frame discarded by a failed load; retry
+		}
 		s.mu.RUnlock()
-		s.hits.Add(1)
-		lockFrame(f, excl)
-		return &Handle{frame: f, excl: excl}, nil
-	}
-	s.mu.RUnlock()
 
-	s.mu.Lock()
-	if f, ok := s.table[id]; ok {
-		// A racing miss loaded it while we upgraded the lock.
-		f.pins.Add(1)
-		f.used.Store(true)
-		s.mu.Unlock()
-		s.hits.Add(1)
-		lockFrame(f, excl)
-		return &Handle{frame: f, excl: excl}, nil
-	}
-	s.misses.Add(1)
-	// Miss: evict a victim and load. The exclusive shard lock is held
-	// across the I/O; see package comment for the trade-off (simplicity
-	// over miss-path concurrency; hot working sets stay resident, and
-	// other shards are unaffected).
-	f, err := s.evictLocked()
-	if err != nil {
-		s.mu.Unlock()
-		return nil, err
-	}
-	if read {
-		if err := p.cfg.Source.ReadPage(id, f.pg.Bytes()); err != nil {
-			f.id = page.InvalidID
+		s.mu.Lock()
+		if f, ok := s.table[id]; ok {
+			// A racing miss claimed it while we upgraded the lock.
+			f.pins.Add(1)
+			f.used.Store(true)
+			s.mu.Unlock()
+			s.hits.Add(1)
+			if h, ok := latchValid(f, id, excl); ok {
+				return h, nil
+			}
+			continue
+		}
+		s.misses.Add(1)
+		// Miss: evict a victim, then claim it — publish the frame in the
+		// page table, pinned and exclusively latched, BEFORE the page read,
+		// and drop the shard lock for the I/O. Concurrent fetches of other
+		// pages in the shard proceed during the read; concurrent fetches of
+		// this page find the claimed frame and block on its latch until the
+		// load completes. (Dirty-victim writeback still happens under the
+		// shard lock inside evictLocked; only the fill read moves out.)
+		f, err := s.evictLocked()
+		if err != nil {
 			s.mu.Unlock()
 			return nil, err
 		}
-		if p.cfg.Checksums {
-			if err := f.pg.VerifyChecksum(); err != nil {
-				f.id = page.InvalidID
-				s.mu.Unlock()
-				return nil, err
+		f.id = id
+		f.dirty.Store(false)
+		f.pins.Store(1)
+		f.used.Store(true)
+		f.latch.Lock() // uncontended: victims have pins==0, hence no waiters
+		s.table[id] = f
+		s.mu.Unlock()
+
+		if read {
+			err = p.cfg.Source.ReadPage(id, f.pg.Bytes())
+			if err == nil && p.cfg.Checksums {
+				err = f.pg.VerifyChecksum()
 			}
+		} else {
+			zero(f.pg.Bytes())
 		}
-	} else {
-		zero(f.pg.Bytes())
+		if err != nil {
+			// Unpublish the frame; latch waiters see the id mismatch and
+			// retry (their own reload reports the error to them directly).
+			s.mu.Lock()
+			delete(s.table, id)
+			f.id = page.InvalidID
+			s.mu.Unlock()
+			f.latch.Unlock()
+			unpin(f)
+			return nil, err
+		}
+		if !excl {
+			// Downgrade: our pin keeps the frame resident; an exclusive
+			// fetcher slipping between the two latch operations is the same
+			// interleaving as one arriving just after this fetch returns.
+			f.latch.Unlock()
+			f.latch.RLock()
+		}
+		return &Handle{frame: f, excl: excl}, nil
 	}
-	f.id = id
-	f.dirty.Store(false)
-	f.pins.Store(1)
-	f.used.Store(true)
-	s.table[id] = f
-	s.mu.Unlock()
+}
+
+// latchValid latches a pinned frame and verifies it still holds id — a
+// frame found in the table may be mid-load (the latch blocks until the
+// loader finishes) and the load may have failed (the frame was unpublished;
+// the caller retries).
+func latchValid(f *frame, id page.ID, excl bool) (*Handle, bool) {
 	lockFrame(f, excl)
-	return &Handle{frame: f, excl: excl}, nil
+	if f.id != id {
+		if excl {
+			f.latch.Unlock()
+		} else {
+			f.latch.RUnlock()
+		}
+		unpin(f)
+		return nil, false
+	}
+	return &Handle{frame: f, excl: excl}, true
 }
 
 func lockFrame(f *frame, excl bool) {

@@ -1,0 +1,209 @@
+package sidefile
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/storage/page"
+)
+
+// Writer is an asynchronous write-behind front for a side File. The §5.3
+// protocol caches every freshly rewound page in the side file; doing that
+// write synchronously puts a side-file I/O on the critical path of the
+// first query to touch each page. Writer decouples them: Enqueue stashes
+// the page content in memory and returns immediately — the rewound page is
+// served to the query at once — while a single background goroutine drains
+// the pending set to the file.
+//
+// Ordering: all writes for a page funnel through the pending map with
+// latest-wins semantics, and Read consults the pending set before the file,
+// so a reader can never observe an older version than the newest enqueued
+// one — even when snapshot undo rewrites a page whose initial rewound copy
+// has not reached the file yet.
+type Writer struct {
+	file *File
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled on enqueue, completion, and close
+	pending  map[page.ID][]byte
+	queue    []page.ID        // FIFO of ids awaiting a file write
+	queued   map[page.ID]bool // id present in queue
+	inflight []byte           // buffer the drainer is currently writing
+	free     [][]byte         // recycled page buffers
+	err      error            // sticky: first file-write failure
+	closed   bool
+	done     chan struct{}
+}
+
+// NewWriter wraps file with an asynchronous writer and starts its drainer.
+func NewWriter(file *File) *Writer {
+	w := &Writer{
+		file:    file,
+		pending: make(map[page.ID][]byte),
+		queued:  make(map[page.ID]bool),
+		done:    make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	go w.drain()
+	return w
+}
+
+// Enqueue schedules buf as the newest content of page id. buf is copied;
+// the caller may reuse it immediately.
+func (w *Writer) Enqueue(id page.ID, buf []byte) error {
+	if len(buf) != page.Size {
+		return errors.New("sidefile: enqueue buffer is not a page")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("sidefile: enqueue on closed writer")
+	}
+	b := w.getBufLocked()
+	copy(b, buf)
+	if old, ok := w.pending[id]; ok && &old[0] != &w.inflightBufLocked()[0] {
+		w.free = append(w.free, old)
+	}
+	w.pending[id] = b
+	if !w.queued[id] {
+		w.queued[id] = true
+		w.queue = append(w.queue, id)
+	}
+	w.cond.Broadcast()
+	return nil
+}
+
+// inflightBufLocked returns the in-flight buffer, or a non-nil sentinel so
+// pointer comparison against it is always safe.
+var sentinelPage = make([]byte, 1)
+
+func (w *Writer) inflightBufLocked() []byte {
+	if w.inflight == nil {
+		return sentinelPage
+	}
+	return w.inflight
+}
+
+func (w *Writer) getBufLocked() []byte {
+	if n := len(w.free); n > 0 {
+		b := w.free[n-1]
+		w.free = w.free[:n-1]
+		return b
+	}
+	return make([]byte, page.Size)
+}
+
+// Read reads page id preferring the pending (not yet persisted) content,
+// falling back to the file. Reports whether the page was found.
+func (w *Writer) Read(id page.ID, buf []byte) (bool, error) {
+	w.mu.Lock()
+	if b, ok := w.pending[id]; ok {
+		copy(buf, b)
+		w.mu.Unlock()
+		return true, nil
+	}
+	err := w.err
+	w.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	return w.file.ReadPage(id, buf)
+}
+
+// Has reports whether page id is materialized (pending or persisted).
+func (w *Writer) Has(id page.ID) bool {
+	w.mu.Lock()
+	_, ok := w.pending[id]
+	w.mu.Unlock()
+	return ok || w.file.Has(id)
+}
+
+// Len returns the number of distinct materialized pages (pending ∪ file).
+func (w *Writer) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.file.Len()
+	for id := range w.pending {
+		if !w.file.Has(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush blocks until every page enqueued before the call is persisted (or
+// the drainer hit an error, which it returns).
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.pending) > 0 && w.err == nil {
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// Close drains outstanding writes and stops the drainer. The underlying
+// file is not closed (the snapshot owns its lifecycle).
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		<-w.done
+		return w.err
+	}
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// drain is the writer goroutine: it pops ids and persists their newest
+// pending content, one file write at a time.
+func (w *Writer) drain() {
+	defer close(w.done)
+	w.mu.Lock()
+	for {
+		for len(w.queue) == 0 && !w.closed && w.err == nil {
+			w.cond.Wait()
+		}
+		if len(w.queue) == 0 || w.err != nil {
+			if w.closed || w.err != nil {
+				w.mu.Unlock()
+				return
+			}
+			continue
+		}
+		id := w.queue[0]
+		w.queue = w.queue[1:]
+		w.queued[id] = false
+		buf, ok := w.pending[id]
+		if !ok {
+			continue
+		}
+		w.inflight = buf
+		w.mu.Unlock()
+
+		err := w.file.WritePage(id, buf)
+
+		w.mu.Lock()
+		w.inflight = nil
+		if err != nil {
+			if w.err == nil {
+				w.err = err
+			}
+		} else if cur, ok := w.pending[id]; ok && &cur[0] == &buf[0] {
+			// Still the newest content: persisted, retire it. If a newer
+			// buffer replaced it meanwhile, the id is queued again and the
+			// newer content will be written on a later pass.
+			delete(w.pending, id)
+			w.free = append(w.free, buf)
+		}
+		w.cond.Broadcast()
+	}
+}

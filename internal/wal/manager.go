@@ -58,8 +58,8 @@ type Manager struct {
 	flushGen    uint64     // bumped when a flush completes
 	flushDone   *sync.Cond // broadcast on flushGen bump; waits on mu
 
-	flushed  atomic.Uint64
-	truncLSN LSN // records below this are unavailable (retention)
+	flushed atomic.Uint64
+	trunc   atomic.Uint64 // records below this are unavailable (retention)
 
 	ioErr error // sticky: a failed log write poisons the manager
 
@@ -69,6 +69,15 @@ type Manager struct {
 
 	cache     *blockCache
 	UndoReads atomic.Int64 // random block reads served from disk (Fig 11)
+
+	// Sparse time→LSN index (§5.1 acceleration): every timeSampleEvery
+	// bytes of log, the next commit record appended contributes a
+	// (wallclock, LSN) sample, so ResolveTime/FindCommits binary-search to a
+	// narrow log window instead of scanning from a checkpoint or the head.
+	// Guarded by mu (samples are taken inside Append); persisted by
+	// piggybacking on checkpoint-end records and reseeded at open.
+	samples    []TimeSample
+	lastSample LSN
 
 	// Flushes counts physical log writes. Commits / Flushes is the group
 	// commit batching factor.
@@ -114,6 +123,15 @@ func (m *Manager) SetGroupCommit(delay time.Duration, maxBytes int) {
 	}
 }
 
+// SetCacheBlocks resizes the random-read block cache to n blocks of
+// readBlockSize (n <= 0 keeps the current size). Call before the manager is
+// shared between goroutines; resizing drops cached blocks.
+func (m *Manager) SetCacheBlocks(n int) {
+	if n > 0 {
+		m.cache = newBlockCache(n)
+	}
+}
+
 // Close flushes and closes the log.
 func (m *Manager) Close() error {
 	if err := m.Flush(m.NextLSN() - 1); err != nil {
@@ -133,13 +151,14 @@ func (m *Manager) NextLSN() LSN {
 func (m *Manager) FlushedLSN() LSN { return LSN(m.flushed.Load()) }
 
 // TruncationPoint returns the lowest available LSN (1 if never truncated).
-func (m *Manager) TruncationPoint() LSN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.truncLSN == 0 {
-		return 1
+func (m *Manager) TruncationPoint() LSN { return m.truncPoint() }
+
+// truncPoint is the lock-free internal form (chain readers check it per hop).
+func (m *Manager) truncPoint() LSN {
+	if t := m.trunc.Load(); t != 0 {
+		return LSN(t)
 	}
-	return m.truncLSN
+	return 1
 }
 
 // framePool recycles scratch buffers so records can be framed (marshaled
@@ -160,6 +179,9 @@ func (m *Manager) Append(r *Record) (LSN, error) {
 	lsn := m.next
 	m.tail = append(m.tail, fb.b...)
 	m.next += LSN(len(fb.b))
+	if r.Type == TypeCommit {
+		m.maybeSampleLocked(r.WallClock, lsn)
+	}
 	m.mu.Unlock()
 	r.LSN = lsn
 	framePool.Put(fb)
@@ -287,8 +309,16 @@ func (m *Manager) force(lsn LSN, linger bool) error {
 func (m *Manager) Truncate(before LSN) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if before > m.truncLSN {
-		m.truncLSN = before
+	if before > LSN(m.trunc.Load()) {
+		m.trunc.Store(uint64(before))
+		// Drop time samples that now point below the retention boundary.
+		i := 0
+		for i < len(m.samples) && m.samples[i].LSN < before {
+			i++
+		}
+		if i > 0 {
+			m.samples = append(m.samples[:0], m.samples[i:]...)
+		}
 	}
 	return nil
 }
@@ -375,11 +405,8 @@ func (m *Manager) Read(lsn LSN) (*Record, error) {
 	if lsn == NilLSN {
 		return nil, errors.New("wal: read of nil LSN")
 	}
-	m.mu.Lock()
-	trunc := m.truncLSN
-	m.mu.Unlock()
-	if lsn < trunc {
-		return nil, fmt.Errorf("%w: %v < %v", ErrTruncated, lsn, trunc)
+	if t := m.truncPoint(); lsn < t {
+		return nil, fmt.Errorf("%w: %v < %v", ErrTruncated, lsn, t)
 	}
 	var hdr [frameHeader]byte
 	if err := m.readCached(hdr[:], int64(lsn-1)); err != nil {
@@ -445,11 +472,9 @@ func (m *Manager) Scan(from LSN, fn func(*Record) (bool, error)) error {
 	if from == NilLSN {
 		from = 1
 	}
-	m.mu.Lock()
-	if from < m.truncLSN {
-		from = m.truncLSN
+	if t := m.truncPoint(); from < t {
+		from = t
 	}
-	m.mu.Unlock()
 	off := int64(from - 1)
 	var hdr [frameHeader]byte
 	body := make([]byte, 0, 4096)

@@ -21,6 +21,23 @@
 // batches many commits into one physical log write. Random reads are served
 // through a sharded second-chance block cache so concurrent snapshot-undo
 // and recovery readers do not contend.
+//
+// The read side offers two paths. Manager.Read fetches one record by LSN
+// through the shared block cache, returning a privately-owned Record — the
+// convenient form for occasional lookups. ChainReader is the hot path for
+// backward chain walks (per-page PrevPageLSN chains, per-transaction
+// PrevLSN chains, §6.1 image chains): it pins decoded block spans locally,
+// decodes records in place into a reusable scratch Record (zero allocations
+// per hop in the steady state), and reads the previous block in the same
+// physical I/O as the current one, so long chains stream backwards through
+// the log instead of ping-ponging the shared cache.
+//
+// The manager also keeps a sparse time→LSN index (TimeSample): every
+// timeSampleEvery bytes of log, one commit record contributes a
+// (wallclock, commitLSN) sample. TimeFloor binary-searches the samples so a
+// wall-clock target resolves to a narrow log window; checkpoints persist
+// the samples (CheckpointData.Times) and Open reseeds the index from the
+// checkpoint chain.
 package wal
 
 import (
@@ -252,13 +269,24 @@ func (r *Record) marshal(dst []byte) []byte {
 	return dst
 }
 
-// unmarshal parses a record body. The returned record's byte slices alias
-// src; Manager.Read returns private copies.
+// unmarshal parses a record body into a fresh Record. The returned record's
+// byte slices alias src; Manager.Read passes a private copy.
 func unmarshal(src []byte) (*Record, error) {
-	if len(src) < 3 {
-		return nil, fmt.Errorf("wal: record body too short: %d bytes", len(src))
-	}
 	r := &Record{}
+	if err := unmarshalInto(r, src); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// unmarshalInto parses a record body into r, overwriting every field — the
+// allocation-free decode path ChainReader drives with a reusable scratch
+// record. r's byte slices alias src.
+func unmarshalInto(r *Record, src []byte) error {
+	if len(src) < 3 {
+		return fmt.Errorf("wal: record body too short: %d bytes", len(src))
+	}
+	*r = Record{}
 	r.Type = Type(src[0])
 	r.CLRType = Type(src[1])
 	r.Flags = src[2]
@@ -288,19 +316,19 @@ func unmarshal(src []byte) (*Record, error) {
 		bad = true
 	}
 	if bad {
-		return nil, fmt.Errorf("wal: truncated record header at %d", off)
+		return fmt.Errorf("wal: truncated record header at %d", off)
 	}
-	for _, dst := range []*[]byte{&r.OldData, &r.NewData, &r.Extra} {
+	for _, dst := range [...]*[]byte{&r.OldData, &r.NewData, &r.Extra} {
 		n := int(getU())
 		if bad || n < 0 || off+n > len(src) {
-			return nil, fmt.Errorf("wal: field of %d bytes overruns body at %d", n, off)
+			return fmt.Errorf("wal: field of %d bytes overruns body at %d", n, off)
 		}
 		if n > 0 {
 			*dst = src[off : off+n]
 		}
 		off += n
 	}
-	return r, nil
+	return nil
 }
 
 // frame layout: u32 bodyLen | u32 crc32(body) | body
@@ -328,11 +356,15 @@ type CheckpointData struct {
 	BeginLSN LSN // matching TypeCheckpointBegin record
 	PrevEnd  LSN // previous checkpoint's end record (0 = none)
 	ATT      []ATTEntry
+	// Times piggybacks the time→LSN samples taken since the previous
+	// checkpoint, so the sparse index (see TimeSample) is rebuilt from the
+	// checkpoint chain at open and survives restarts.
+	Times []TimeSample
 }
 
 // EncodeCheckpoint serializes d for Record.Extra.
 func EncodeCheckpoint(d CheckpointData) []byte {
-	buf := make([]byte, 0, 20+24*len(d.ATT))
+	buf := make([]byte, 0, 32+24*len(d.ATT)+16*len(d.Times))
 	var tmp [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(tmp[:], v)
@@ -346,10 +378,17 @@ func EncodeCheckpoint(d CheckpointData) []byte {
 		put(uint64(e.LastLSN))
 		put(uint64(e.BeginLSN))
 	}
+	put(uint64(len(d.Times)))
+	for _, s := range d.Times {
+		put(uint64(s.WallClock))
+		put(uint64(s.LSN))
+	}
 	return buf
 }
 
-// DecodeCheckpoint parses a TypeCheckpointEnd payload.
+// DecodeCheckpoint parses a TypeCheckpointEnd payload. Payloads written
+// before the time index existed end after the ATT entries and decode with
+// no samples.
 func DecodeCheckpoint(b []byte) (CheckpointData, error) {
 	var d CheckpointData
 	if len(b) < 24 {
@@ -358,16 +397,34 @@ func DecodeCheckpoint(b []byte) (CheckpointData, error) {
 	get := func(off int) uint64 { return binary.LittleEndian.Uint64(b[off:]) }
 	d.BeginLSN = LSN(get(0))
 	d.PrevEnd = LSN(get(8))
-	n := int(get(16))
-	if len(b) != 24+24*n {
-		return d, fmt.Errorf("wal: checkpoint payload size %d for %d entries", len(b), n)
+	if get(16) > uint64(len(b)-24)/24 {
+		return d, fmt.Errorf("wal: checkpoint payload size %d for %d entries", len(b), get(16))
 	}
+	n := int(get(16))
 	for i := 0; i < n; i++ {
 		off := 24 + 24*i
 		d.ATT = append(d.ATT, ATTEntry{
 			TxnID:    get(off),
 			LastLSN:  LSN(get(off + 8)),
 			BeginLSN: LSN(get(off + 16)),
+		})
+	}
+	rest := b[24+24*n:]
+	if len(rest) == 0 {
+		return d, nil // pre-time-index payload
+	}
+	if len(rest) < 8 {
+		return d, fmt.Errorf("wal: checkpoint payload trailer of %d bytes", len(rest))
+	}
+	if c := binary.LittleEndian.Uint64(rest); c != uint64(len(rest)-8)/16 || len(rest) != 8+16*int(c) {
+		return d, fmt.Errorf("wal: checkpoint payload trailer %d bytes for %d samples", len(rest), c)
+	}
+	ts := int(binary.LittleEndian.Uint64(rest))
+	for i := 0; i < ts; i++ {
+		off := 8 + 16*i
+		d.Times = append(d.Times, TimeSample{
+			WallClock: int64(binary.LittleEndian.Uint64(rest[off:])),
+			LSN:       LSN(binary.LittleEndian.Uint64(rest[off+8:])),
 		})
 	}
 	return d, nil

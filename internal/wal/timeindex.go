@@ -1,0 +1,103 @@
+package wal
+
+import "sort"
+
+// TimeSample pairs a committed transaction's wall-clock time with its
+// commit record's LSN. A sparse, monotonic sequence of samples is the
+// time→LSN index the SplitLSN search (§5.1) binary-searches to jump to a
+// narrow log window instead of scanning forward from a checkpoint (or, for
+// FindCommits, from the head of the log).
+type TimeSample struct {
+	WallClock int64 // commit wall-clock, ns since the Unix epoch
+	LSN       LSN   // the commit record's LSN
+}
+
+// timeSampleEvery is the log-volume spacing between samples: one sample per
+// 64 KiB of log keeps the index at ~16 bytes per 64 KiB (0.025% of log
+// size) while bounding any time-resolution scan to a 64 KiB window.
+const timeSampleEvery = 64 << 10
+
+// maybeSampleLocked records a (wallclock, commitLSN) sample if enough log
+// has accumulated since the last one. Commit wall-clocks are assigned
+// before the append and can invert slightly under concurrency; inverted
+// candidates are skipped so the index stays binary-searchable. Caller
+// holds mu.
+func (m *Manager) maybeSampleLocked(wallClock int64, lsn LSN) {
+	if m.lastSample != NilLSN && lsn < m.lastSample+timeSampleEvery {
+		return
+	}
+	if n := len(m.samples); n > 0 && wallClock < m.samples[n-1].WallClock {
+		return
+	}
+	m.samples = append(m.samples, TimeSample{WallClock: wallClock, LSN: lsn})
+	m.lastSample = lsn
+}
+
+// TimeFloor returns the newest sample whose wall-clock time is at or before
+// targetNS. ok is false when no sample qualifies (empty index, or the
+// target predates every sample) — callers then fall back to their
+// checkpoint-based narrowing.
+func (m *Manager) TimeFloor(targetNS int64) (TimeSample, bool) {
+	return m.TimeFloorBack(targetNS, 0)
+}
+
+// TimeFloorBack is TimeFloor stepped back `back` additional samples.
+// Commit wall-clocks are assigned before the append and can invert
+// slightly under concurrency; a caller that must not miss commits whose
+// wall-clock inverted around the window boundary (FindCommits) starts one
+// sample earlier, trading ≤ timeSampleEvery bytes of extra scan for
+// boundary exactness.
+func (m *Manager) TimeFloorBack(targetNS int64, back int) (TimeSample, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := sort.Search(len(m.samples), func(i int) bool {
+		return m.samples[i].WallClock > targetNS
+	})
+	i -= 1 + back
+	if i < 0 {
+		return TimeSample{}, false
+	}
+	return m.samples[i], true
+}
+
+// TimeSamplesSince returns the samples with LSN > after, oldest first — the
+// slice a checkpoint embeds in its end record so the index survives restart.
+func (m *Manager) TimeSamplesSince(after LSN) []TimeSample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := sort.Search(len(m.samples), func(i int) bool {
+		return m.samples[i].LSN > after
+	})
+	out := make([]TimeSample, len(m.samples)-i)
+	copy(out, m.samples[i:])
+	return out
+}
+
+// SeedTimeIndex installs samples recovered from the on-disk checkpoint
+// chain (oldest first). Called once at open, before concurrent use; samples
+// below the truncation point or out of monotonic order are dropped.
+func (m *Manager) SeedTimeIndex(samples []TimeSample) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	trunc := LSN(m.trunc.Load())
+	m.samples = m.samples[:0]
+	m.lastSample = NilLSN
+	for _, s := range samples {
+		if s.LSN < trunc || s.LSN == NilLSN {
+			continue
+		}
+		if n := len(m.samples); n > 0 &&
+			(s.LSN <= m.samples[n-1].LSN || s.WallClock < m.samples[n-1].WallClock) {
+			continue
+		}
+		m.samples = append(m.samples, s)
+		m.lastSample = s.LSN
+	}
+}
+
+// TimeIndexLen returns the number of resident samples (introspection).
+func (m *Manager) TimeIndexLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.samples)
+}
