@@ -307,6 +307,27 @@ func BenchmarkSec63Concurrent(b *testing.B) {
 	}
 }
 
+// BenchmarkReplication measures the log-shipping subsystem: the §6.3
+// primary-throughput ratio with the as-of load absorbed by a warm standby
+// (vs. sharing the primary), bulk catch-up apply bandwidth, and
+// steady-state replication lag.
+func BenchmarkReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Replication(b.TempDir(), 1500, 4, 1, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BaselineTpm, "tpm-baseline")
+		b.ReportMetric(res.SingleNodeTpm, "tpm-asof-primary")
+		b.ReportMetric(res.SingleNodeRatio, "ratio-single")
+		b.ReportMetric(res.OffloadTpm, "tpm-asof-standby")
+		b.ReportMetric(res.OffloadRatio, "ratio-offload")
+		b.ReportMetric(res.ApplyMBps, "apply-MBps")
+		b.ReportMetric(float64(res.LagAvgBytes), "lag-avg-bytes")
+		b.ReportMetric(float64(res.LagMaxBytes), "lag-max-bytes")
+	}
+}
+
 // BenchmarkAsOfQuery measures the as-of snapshot read path end to end:
 // snapshot creation latency, point lookups against a cold side file (every
 // first page touch rewinds through the log chain), point lookups against a

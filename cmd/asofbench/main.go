@@ -24,12 +24,15 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, 11, 63, 64, commit, asofread or all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, 11, 63, 64, commit, asofread, repl or all")
 		txns    = flag.Int("txns", 3000, "transactions of benchmark history")
 		clients = flag.Int("clients", 4, "concurrent benchmark clients")
 		items   = flag.Int("items", 6000, "TPC-C items (database size driver)")
 		scale   = flag.Int64("mediascale", 1000, "sequential-bandwidth scale-down for Figs 7-11 (see DESIGN.md)")
 		workdir = flag.String("dir", "", "working directory (default: temp)")
+
+		// -fig repl: log-shipping replication (as-of load offloaded to standbys).
+		replicas = flag.Int("replicas", 1, "warm standbys for -fig repl")
 
 		// -fig commit: group-commit pipeline A/B.
 		committers = flag.Int("committers", 8, "concurrent committers for -fig commit")
@@ -104,6 +107,14 @@ func main() {
 	if wants("63") {
 		fmt.Printf("\n== §6.3: concurrent as-of query impact (%d txns, %d clients) ==\n", *txns, *clients)
 		if _, err := exp.Concurrent(dir+"/sec63", *txns, *clients, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if wants("repl") {
+		fmt.Printf("\n== Replication: §6.3 as-of load on %d warm standby(s) vs the primary (%d txns, %d clients) ==\n",
+			*replicas, *txns, *clients)
+		if _, err := exp.Replication(dir+"/repl", *txns, *clients, *replicas, os.Stdout); err != nil {
 			fatal(err)
 		}
 	}

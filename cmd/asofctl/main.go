@@ -16,22 +16,74 @@
 //	asofctl -db DIR history RFC3339 RFC3339   list transactions committed
 //	                                          in the window
 //	asofctl -db DIR undo-txn LSN [force]      undo one committed transaction
+//
+// Replication (log-shipped warm standbys, serving as-of queries):
+//
+//	asofctl -db DIR serve ADDR                run the primary and ship its
+//	                                          log to replicas on ADDR
+//	asofctl -db DIR replica ADDR              run DIR as a warm standby fed
+//	                                          from the primary at ADDR
+//	asofctl repl-status ADDR                  per-replica shipped/applied/
+//	                                          durable LSNs and lag
+//	asofctl -db DIR count-asof-standby RFC3339 TABLE
+//	                                          count rows as of a past time
+//	                                          on a standby directory
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	asofdb "repro"
+	"repro/internal/repl"
 )
 
 func main() {
 	dbdir := flag.String("db", "", "database directory (required)")
 	flag.Parse()
 	args := flag.Args()
-	if *dbdir == "" || len(args) == 0 {
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Replication subcommands manage their own engines: a standby
+	// directory must be opened in standby mode (never through crash
+	// recovery, which would append to the shipped log), and repl-status
+	// only dials the primary.
+	switch args[0] {
+	case "serve":
+		need(args, 2)
+		if *dbdir == "" {
+			fatal(fmt.Errorf("serve requires -db"))
+		}
+		servePrimary(*dbdir, args[1])
+		return
+	case "replica":
+		need(args, 2)
+		if *dbdir == "" {
+			fatal(fmt.Errorf("replica requires -db"))
+		}
+		runReplica(*dbdir, args[1])
+		return
+	case "count-asof-standby":
+		need(args, 3)
+		if *dbdir == "" {
+			fatal(fmt.Errorf("count-asof-standby requires -db"))
+		}
+		countOnStandby(*dbdir, args[1], args[2])
+		return
+	case "repl-status":
+		need(args, 2)
+		replStatus(args[1])
+		return
+	}
+
+	if *dbdir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -144,6 +196,134 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown command %q", cmd))
 	}
+}
+
+// servePrimary opens the database and ships its log to any replica that
+// connects on addr, printing per-replica status once a second.
+func servePrimary(dir, addr string) {
+	db, err := asofdb.Open(dir, asofdb.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	ship := repl.NewShipper(db, repl.ShipperOptions{})
+	defer ship.Close()
+	lis, err := repl.ListenAndServe(addr, ship)
+	if err != nil {
+		fatal(err)
+	}
+	defer lis.Close()
+	fmt.Println("primary shipping on", lis.Addr())
+	for {
+		time.Sleep(time.Second)
+		for _, st := range ship.Status() {
+			fmt.Printf("replica %d: shipped=%d applied=%d durable=%d lag=%dB/%.1fs last-commit=%s\n",
+				st.ID, st.Shipped, st.Applied, st.ReplicaDurable, st.LagBytes, st.LagSeconds,
+				fmtTime(st.LastCommitAt))
+		}
+	}
+}
+
+// runReplica opens (creating if needed) dir as a warm standby fed from the
+// primary at addr, printing its own lag once a second. It reconnects on
+// stream errors.
+func runReplica(dir, addr string) {
+	rep, err := repl.OpenReplica(dir, repl.ReplicaOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	defer rep.Close()
+	go func() {
+		for {
+			time.Sleep(time.Second)
+			st := rep.Status()
+			fmt.Printf("applied=%d durable=%d primary=%d lag=%dB/%s last-commit=%s\n",
+				st.Applied, st.LocalDurable, st.PrimaryDurable, st.LagBytes,
+				st.LagTime.Round(time.Millisecond), fmtTime(st.LastCommitAt))
+		}
+	}()
+	for {
+		conn, err := repl.Dial(addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asofctl: dial:", err, "- retrying in 1s")
+			time.Sleep(time.Second)
+			continue
+		}
+		err = rep.Run(conn)
+		conn.Close()
+		if err == nil {
+			return // clean session end (primary closed)
+		}
+		if errors.Is(err, repl.ErrSubscriptionRejected) {
+			// Retrying cannot succeed: the primary no longer holds the log
+			// this replica needs (reseed from a backup, or start fresh).
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "asofctl: stream:", err, "- reconnecting in 1s")
+		time.Sleep(time.Second)
+	}
+}
+
+// countOnStandby mounts an as-of snapshot on a standby directory — no
+// primary connection needed; the standby serves the past it has applied.
+func countOnStandby(dir, when, table string) {
+	at := parseTime(when)
+	rep, err := repl.OpenReplica(dir, repl.ReplicaOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	defer rep.Close()
+	snap, err := rep.SnapshotAsOf(at)
+	if err != nil {
+		fatal(err)
+	}
+	defer snap.Close()
+	n, err := snap.CountRows(table, nil, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(n)
+}
+
+// replStatus asks the primary at addr for its per-replica report.
+func replStatus(addr string) {
+	conn, err := repl.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&repl.Frame{Kind: repl.KindStatus}); err != nil {
+		fatal(err)
+	}
+	f, err := conn.Recv()
+	if err != nil {
+		fatal(err)
+	}
+	if f.Kind != repl.KindStatus {
+		fatal(fmt.Errorf("unexpected %v reply", f.Kind))
+	}
+	var sts []repl.SubscriberStatus
+	if err := json.Unmarshal(f.Payload, &sts); err != nil {
+		fatal(err)
+	}
+	if len(sts) == 0 {
+		fmt.Println("no replicas connected")
+		return
+	}
+	fmt.Printf("%-3s %-12s %-12s %-12s %-12s %-10s %-10s %s\n",
+		"id", "primary", "shipped", "applied", "durable", "lag-bytes", "lag-secs", "last-commit")
+	for _, st := range sts {
+		fmt.Printf("%-3d %-12d %-12d %-12d %-12d %-10d %-10.1f %s\n",
+			st.ID, st.PrimaryDurable, st.Shipped, st.Applied, st.ReplicaDurable,
+			st.LagBytes, st.LagSeconds, fmtTime(st.LastCommitAt))
+	}
+}
+
+func fmtTime(t time.Time) string {
+	if t.IsZero() {
+		return "-"
+	}
+	return t.UTC().Format(time.RFC3339)
 }
 
 func parseTime(s string) time.Time {

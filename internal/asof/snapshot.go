@@ -93,7 +93,20 @@ func newSnapshot(db *engine.DB, point SplitPoint, asOf time.Time, sideDev *media
 	// checkpoint — it is by far the dominant cost of mounting a snapshot on
 	// a busy system. With that done, the snapshot's redo pass needs no page
 	// reads.
-	if mark, ok := db.LastCheckpointMark(); !ok || mark.Begin < point.SplitLSN {
+	//
+	// On a standby the checkpoint is skipped entirely: a standby cannot
+	// append checkpoint records to its shipped log, and does not need to —
+	// snapshot page reads go through the standby's buffer pool, which is
+	// coherent with redo up to AppliedLSN, so the only requirement is that
+	// the split not outrun the apply loop. The shipped log may extend past
+	// AppliedLSN (bytes ingested but not yet applied), hence the explicit
+	// guard: a page fetched now reflects redo only through AppliedLSN, and
+	// PreparePageAsOf can only rewind pages backwards.
+	if db.Standby() {
+		if applied := db.AppliedLSN(); point.SplitLSN > applied {
+			return nil, fmt.Errorf("%w: split %v > applied %v", ErrReplicaLagging, point.SplitLSN, applied)
+		}
+	} else if mark, ok := db.LastCheckpointMark(); !ok || mark.Begin < point.SplitLSN {
 		if err := db.Checkpoint(); err != nil {
 			return nil, err
 		}

@@ -13,6 +13,12 @@ import (
 // retention period (§4.3) — the log needed to rewind that far may be gone.
 var ErrBeyondRetention = errors.New("asof: requested time is beyond the retention period")
 
+// ErrReplicaLagging is returned when a snapshot on a standby resolves to a
+// SplitLSN the replica's continuous redo has not reached yet. Callers wait
+// for the apply loop to pass the split and retry (repl.Replica.SnapshotAsOf
+// does exactly that, bounded by the observed replication lag).
+var ErrReplicaLagging = errors.New("asof: standby redo has not reached the requested point yet")
+
 // SplitPoint is the resolved target of an as-of snapshot: the SplitLSN
 // (§5.1), the checkpoint the snapshot's recovery passes start from, and the
 // transactions that were in flight at the SplitLSN (to be undone, §5.2).

@@ -22,6 +22,12 @@ import (
 // and as-of snapshot recovery time, since snapshot recovery starts at the
 // checkpoint nearest the SplitLSN (§6.2).
 func (db *DB) Checkpoint() error {
+	if db.standby.Load() {
+		// A standby must not append to its shipped log; its durability
+		// cadence is the replica checkpoint (repl.Replica), which flushes
+		// pages and persists apply state without log records.
+		return ErrStandby
+	}
 	now := db.opts.Now().UnixNano()
 	begin := &wal.Record{Type: wal.TypeCheckpointBegin, PageID: wal.NoPage, WallClock: now}
 	beginLSN, err := db.log.Append(begin)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/alloc"
+	"repro/internal/clock"
 	"repro/internal/storage/buffer"
 	"repro/internal/storage/disk"
 	"repro/internal/storage/media"
@@ -57,8 +58,13 @@ type Options struct {
 	// LockTimeout bounds lock waits. Default 10s.
 	LockTimeout time.Duration
 	// Now supplies wall-clock time; experiments install a virtual clock so
-	// "N minutes back" is deterministic. Default time.Now.
-	Now func() time.Time
+	// "N minutes back" is deterministic. Default time.Now. Clock, when set,
+	// takes precedence — the injected-interface form of the same knob
+	// (internal/clock); every engine wall-clock reading and the WAL's clock
+	// go through it, so time-index, retention and replication-lag tests are
+	// deterministic.
+	Now   func() time.Time
+	Clock clock.Clock
 	// CheckpointEvery, if positive, makes the engine take a checkpoint
 	// after that much log has been generated since the last one
 	// (approximating the paper's target recovery interval).
@@ -106,9 +112,15 @@ func (o *Options) withDefaults() Options {
 	if out.LockTimeout <= 0 {
 		out.LockTimeout = 10 * time.Second
 	}
-	if out.Now == nil {
-		out.Now = time.Now
+	if out.Clock == nil {
+		if out.Now != nil {
+			out.Clock = clock.Func(out.Now)
+		} else {
+			out.Clock = clock.Real()
+		}
 	}
+	// Keep the legacy func-field in sync: internal call sites read opts.Now.
+	out.Now = out.Clock.Now
 	return out
 }
 
@@ -155,6 +167,17 @@ type DB struct {
 
 	nextTxnID atomic.Uint64
 	closed    atomic.Bool
+
+	// standby marks a database opened by OpenStandby: a log-shipping replica
+	// whose pages are maintained by an external redo loop (internal/repl).
+	// Standbys reject write transactions and never append to their log —
+	// the local log is a byte-exact copy of the primary's, so any local
+	// record would corrupt the shipped LSN space. Promotion clears the flag.
+	standby atomic.Bool
+	// appliedLSN is the standby's redo high-water mark: every record at or
+	// below it has been applied to the buffer pool. As-of snapshots on a
+	// standby may only split at or below it.
+	appliedLSN atomic.Uint64
 
 	// CheckpointCount counts checkpoints taken (introspection for tests).
 	CheckpointCount atomic.Int64
@@ -219,6 +242,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	logm.SetGroupCommit(opts.GroupCommitMaxDelay, opts.GroupCommitMaxBytes)
 	logm.SetCacheBlocks(opts.LogCacheBlocks)
+	logm.SetClock(opts.Clock)
 	db := &DB{
 		opts:      opts,
 		dir:       dir,
@@ -260,6 +284,181 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("engine: recovery: %w", err)
 	}
 	return db, nil
+}
+
+// OpenStandby opens the database in dir as a log-shipping standby: files
+// are opened (and created empty if absent) but no bootstrap transaction
+// runs, no recovery runs, and the engine is read-only — an external
+// continuous-redo loop (internal/repl) owns the log and the pages. A
+// standby whose directory already holds shipped state reseeds its
+// checkpoint and time→LSN indexes from the local log copy exactly like a
+// primary would at open.
+func OpenStandby(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: mkdir: %w", err)
+	}
+	data, err := disk.Open(filepath.Join(dir, "data.db"), opts.DataDevice)
+	if err != nil {
+		return nil, err
+	}
+	logm, err := wal.Open(filepath.Join(dir, "wal.log"), opts.LogDevice)
+	if err != nil {
+		data.Close()
+		return nil, err
+	}
+	logm.SetClock(opts.Clock)
+	logm.SetCacheBlocks(opts.LogCacheBlocks)
+	db := &DB{
+		opts:      opts,
+		dir:       dir,
+		data:      data,
+		log:       logm,
+		locks:     txn.NewLockManager(opts.LockTimeout),
+		allocHint: make(map[uint32]uint32),
+		idxCache:  make(map[uint32][]catalog.Index),
+		tblCache:  make(map[string]catalog.Table),
+	}
+	for i := range db.txns {
+		db.txns[i].txns = make(map[uint64]*Txn)
+	}
+	db.pool = buffer.New(buffer.Config{
+		Frames:    opts.BufferFrames,
+		Source:    data,
+		FlushLog:  func(pageLSN uint64) error { return logm.Flush(wal.LSN(pageLSN)) },
+		Checksums: true,
+	})
+	db.nextTxnID.Store(1)
+	db.standby.Store(true)
+
+	if data.PageCount() > 0 {
+		if err := db.readBoot(); err != nil {
+			db.closeFiles()
+			return nil, err
+		}
+		if err := db.rebuildCkptIndex(); err != nil {
+			db.closeFiles()
+			return nil, fmt.Errorf("engine: checkpoint index: %w", err)
+		}
+	}
+	return db, nil
+}
+
+// ErrStandby is returned by write entry points on a log-shipping replica;
+// promote the replica (repl.Replica.Promote) to open it read-write.
+var ErrStandby = errors.New("engine: database is a read-only standby")
+
+// Standby reports whether the database is a read-only log-shipping replica.
+func (db *DB) Standby() bool { return db.standby.Load() }
+
+// EnsureTxnIDAfter bumps the transaction-id allocator past id (promotion
+// installs the maximum id observed in the shipped stream so a promoted
+// replica's new transactions never collide with replayed ones).
+func (db *DB) EnsureTxnIDAfter(id uint64) {
+	for {
+		cur := db.nextTxnID.Load()
+		if cur > id {
+			return
+		}
+		if db.nextTxnID.CompareAndSwap(cur, id+1) {
+			return
+		}
+	}
+}
+
+// Clock returns the engine's injected wall-clock source.
+func (db *DB) Clock() clock.Clock { return db.opts.Clock }
+
+// AppliedLSN returns the standby's redo high-water mark (0 on a primary).
+func (db *DB) AppliedLSN() wal.LSN { return wal.LSN(db.appliedLSN.Load()) }
+
+// SetAppliedLSN advances the standby's redo high-water mark. Called by the
+// replica apply loop after a batch barrier.
+func (db *DB) SetAppliedLSN(lsn wal.LSN) { db.appliedLSN.Store(uint64(lsn)) }
+
+// Bootstrapped reports whether the database has a readable boot page (a
+// standby starts from a truly empty directory and gains one via
+// InitStandbyBoot when the stream's hello frame arrives).
+func (db *DB) Bootstrapped() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.boot.roots.Valid()
+}
+
+// InitStandbyBoot installs the primary's catalog roots and creation time on
+// a fresh standby and persists the boot page. The roots never change after
+// database creation, so shipping them once in the stream handshake replaces
+// the (unlogged) bootstrap that created them on the primary.
+func (db *DB) InitStandbyBoot(roots catalog.Roots, createdAt int64) error {
+	if !roots.Valid() {
+		return errors.New("engine: standby boot with invalid catalog roots")
+	}
+	db.mu.Lock()
+	db.boot.roots = roots
+	db.boot.createdAt = createdAt
+	db.mu.Unlock()
+	return db.writeBoot()
+}
+
+// NoteCheckpoint records a primary checkpoint observed in the shipped
+// stream: it joins the in-memory checkpoint index (the §5.1 SplitLSN
+// narrowing works on the standby) and becomes the boot page's recovery
+// hint, so a standby restart reseeds its indexes from the same chain walk a
+// primary uses. The boot page write is deferred to the replica's own
+// checkpoint cadence (persistBoot), keeping stream apply cheap.
+func (db *DB) NoteCheckpoint(mark CkptMark) {
+	db.mu.Lock()
+	if n := len(db.ckptIndex); n == 0 || db.ckptIndex[n-1].End < mark.End {
+		db.ckptIndex = append(db.ckptIndex, mark)
+		db.boot.lastCkptEnd = mark.End
+	}
+	db.mu.Unlock()
+}
+
+// NoteAnalysisMark installs an ATT capture derived from the standby's
+// incremental analysis state, giving snapshot resolution on the standby the
+// same O(mark interval) analysis scans as on the primary. Marks must arrive
+// in (Begin, End) order; out-of-order marks are dropped.
+func (db *DB) NoteAnalysisMark(m AnalysisMark) {
+	db.mu.Lock()
+	if n := len(db.attMarks); n == 0 ||
+		(m.Begin >= db.attMarks[n-1].Begin && m.End > db.attMarks[n-1].End) {
+		db.attMarks = append(db.attMarks, m)
+		if len(db.attMarks) > maxATTMarks {
+			db.attMarks = append(db.attMarks[:0:0], db.attMarks[len(db.attMarks)-maxATTMarks/2:]...)
+		}
+	}
+	db.mu.Unlock()
+}
+
+// PersistBoot flushes the boot page (standby checkpoint cadence; a primary
+// persists it inside Checkpoint).
+func (db *DB) PersistBoot() error { return db.writeBoot() }
+
+// Promote flips a standby read-write after its apply loop has stopped: the
+// given transactions (in flight at the promotion point, from the replica's
+// incremental analysis state) are rolled back exactly as crash recovery
+// would, and a fresh checkpoint gives the promoted database a clean
+// recovery starting point. The caller (repl.Replica.Promote) guarantees
+// redo is complete through the end of the local log.
+//
+// A failed promotion is fail-stop: the undo pass may already have appended
+// local CLRs, so the log is no longer a byte-identical copy of the
+// primary's and the database must NOT re-arm as a standby — resuming the
+// stream would interleave primary bytes after local-only records and serve
+// CRC-valid garbage. The standby flag stays cleared; repl.Replica.Run
+// refuses to stream for a non-standby engine.
+func (db *DB) Promote(att []wal.ATTEntry) error {
+	if !db.standby.CompareAndSwap(true, false) {
+		return errors.New("engine: promote of a non-standby database")
+	}
+	if err := db.UndoTransactions(att); err != nil {
+		return fmt.Errorf("engine: promote undo (database needs recovery, not standby resumption): %w", err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		return fmt.Errorf("engine: promote checkpoint (database needs recovery, not standby resumption): %w", err)
+	}
+	return nil
 }
 
 // create formats a fresh database: boot page, first allocation map, and the
@@ -307,10 +506,29 @@ func (db *DB) closeFiles() {
 	db.data.Close()
 }
 
-// Close checkpoints and closes the database.
+// Close checkpoints and closes the database. A standby — which must not
+// append checkpoint records to its shipped log — flushes its pages and boot
+// page instead; its durable apply position is managed by the replica layer.
 func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return nil
+	}
+	if db.standby.Load() {
+		if err := db.pool.FlushAll(); err != nil {
+			return err
+		}
+		if err := db.data.Sync(); err != nil {
+			return err
+		}
+		if db.Bootstrapped() {
+			if err := db.writeBoot(); err != nil {
+				return err
+			}
+		}
+		if err := db.log.Close(); err != nil {
+			return err
+		}
+		return db.data.Close()
 	}
 	if err := db.Checkpoint(); err != nil {
 		return err

@@ -20,10 +20,16 @@ import (
 //     generating CLRs, exactly as a runtime rollback would.
 //
 // The same passes, re-targeted at a SplitLSN instead of the end of log,
-// implement as-of snapshot recovery in the asof package.
+// implement as-of snapshot recovery in the asof package — and, run as a
+// standing loop fed by shipped log instead of a bounded scan, continuous
+// replica redo in internal/repl. The per-record work is therefore factored
+// into resumable pieces: RecoveryState carries the incremental analysis
+// table, ObserveRecord folds one record into it, RedoRecord applies one
+// record's page effects, and UndoTransactions rolls back a set of in-flight
+// transactions. recover composes them over one log scan.
 func (db *DB) recover() error {
 	start := wal.LSN(1)
-	att := make(map[uint64]*wal.ATTEntry)
+	st := NewRecoveryState()
 	db.mu.Lock()
 	ckptEnd := db.boot.lastCkptEnd
 	db.mu.Unlock()
@@ -37,51 +43,120 @@ func (db *DB) recover() error {
 			return err
 		}
 		start = data.BeginLSN
-		for i := range data.ATT {
-			e := data.ATT[i]
-			att[e.TxnID] = &e
-		}
+		st.Seed(data.ATT)
 	}
 
 	// Analysis + redo in one forward pass (sharp checkpoints flush all
 	// dirty pages, so redo from the checkpoint-begin record is complete).
-	var maxTxn uint64
-	redone := 0
+	// validEnd tracks the end of the last intact record: a crash can tear
+	// the final record mid-write, and the log must be rewound to the valid
+	// CRC boundary before recovery appends anything — otherwise the torn
+	// bytes would sit as an unreadable hole in front of every later record.
+	validEnd := start - 1
 	err := db.log.Scan(start, func(rec *wal.Record) (bool, error) {
-		if rec.TxnID > maxTxn {
-			maxTxn = rec.TxnID
-		}
-		switch rec.Type {
-		case wal.TypeBegin:
-			att[rec.TxnID] = &wal.ATTEntry{TxnID: rec.TxnID, LastLSN: rec.LSN, BeginLSN: rec.LSN}
-		case wal.TypeCommit, wal.TypeAbort:
-			delete(att, rec.TxnID)
-		case wal.TypeCheckpointBegin, wal.TypeCheckpointEnd:
-			// bookkeeping only
-		default:
-			if rec.TxnID != 0 {
-				if e, ok := att[rec.TxnID]; ok {
-					e.LastLSN = rec.LSN
-				} else {
-					att[rec.TxnID] = &wal.ATTEntry{TxnID: rec.TxnID, LastLSN: rec.LSN}
-				}
-			}
-			if rec.IsPageOp() && rec.PageID != wal.NoPage {
-				if err := db.redoOne(rec); err != nil {
-					return false, err
-				}
-				redone++
-			}
+		st.Observe(rec)
+		validEnd = rec.LSN + wal.LSN(rec.ApproxSize()) - 1
+		if err := db.RedoRecord(rec); err != nil {
+			return false, err
 		}
 		return true, nil
 	})
 	if err != nil {
 		return fmt.Errorf("redo pass: %w", err)
 	}
-	db.nextTxnID.Store(maxTxn + 1)
+	if end := wal.LSN(db.log.Size()); validEnd < end {
+		if err := db.log.Rewind(validEnd); err != nil {
+			return fmt.Errorf("torn-tail rewind to %v: %w", validEnd, err)
+		}
+	}
+	db.nextTxnID.Store(st.MaxTxn + 1)
 
 	// Undo pass: roll back in-flight transactions with the runtime logical
 	// undo machinery.
+	if err := db.UndoTransactions(st.Inflight()); err != nil {
+		return err
+	}
+
+	// Leave a clean starting point for the next crash.
+	return db.Checkpoint()
+}
+
+// RecoveryState is the incremental §5.2 analysis state: the table of
+// transactions in flight as of the last record observed, plus the highest
+// transaction id seen. Crash recovery folds one bounded log scan into it;
+// a replica's standing apply loop folds the shipped stream into it
+// continuously, so the ATT at the replica's applied LSN is always exact —
+// no analysis scan is ever needed to mount a snapshot or promote.
+type RecoveryState struct {
+	ATT    map[uint64]*wal.ATTEntry
+	MaxTxn uint64
+}
+
+// NewRecoveryState returns an empty analysis state.
+func NewRecoveryState() *RecoveryState {
+	return &RecoveryState{ATT: make(map[uint64]*wal.ATTEntry)}
+}
+
+// Seed installs a checkpoint's (or replica checkpoint's) ATT capture.
+func (st *RecoveryState) Seed(att []wal.ATTEntry) {
+	for i := range att {
+		e := att[i]
+		if e.TxnID > st.MaxTxn {
+			st.MaxTxn = e.TxnID
+		}
+		st.ATT[e.TxnID] = &e
+	}
+}
+
+// Observe folds one record, in LSN order, into the analysis state.
+func (st *RecoveryState) Observe(rec *wal.Record) {
+	if rec.TxnID > st.MaxTxn {
+		st.MaxTxn = rec.TxnID
+	}
+	switch rec.Type {
+	case wal.TypeBegin:
+		st.ATT[rec.TxnID] = &wal.ATTEntry{TxnID: rec.TxnID, LastLSN: rec.LSN, BeginLSN: rec.LSN}
+	case wal.TypeCommit, wal.TypeAbort:
+		delete(st.ATT, rec.TxnID)
+	case wal.TypeCheckpointBegin, wal.TypeCheckpointEnd:
+		// bookkeeping only
+	default:
+		if rec.TxnID != 0 {
+			if e, ok := st.ATT[rec.TxnID]; ok {
+				e.LastLSN = rec.LSN
+			} else {
+				st.ATT[rec.TxnID] = &wal.ATTEntry{TxnID: rec.TxnID, LastLSN: rec.LSN}
+			}
+		}
+	}
+}
+
+// Inflight returns the in-flight transactions as ATT entries.
+func (st *RecoveryState) Inflight() []wal.ATTEntry {
+	out := make([]wal.ATTEntry, 0, len(st.ATT))
+	for _, e := range st.ATT {
+		out = append(out, *e)
+	}
+	return out
+}
+
+// RedoRecord applies one record's page effects if the page has not seen
+// them (the pageLSN test makes it idempotent); non-page records are
+// ignored. Safe to call concurrently for records of DIFFERENT pages —
+// physiological redo touches exactly one page per record — which is what
+// lets a replica partition redo across workers by page id.
+func (db *DB) RedoRecord(rec *wal.Record) error {
+	if !rec.IsPageOp() || rec.PageID == wal.NoPage {
+		return nil
+	}
+	return db.redoOne(rec)
+}
+
+// UndoTransactions rolls back the given in-flight transactions with the
+// runtime logical undo machinery, appending CLRs and a terminating abort
+// record per transaction — the shared undo pass of crash recovery and
+// standby promotion.
+func (db *DB) UndoTransactions(att []wal.ATTEntry) error {
 	for _, e := range att {
 		tx := &Txn{db: db, id: e.TxnID}
 		tx.begun.Store(true)
@@ -98,9 +173,7 @@ func (db *DB) recover() error {
 		tx.state.Store(int32(txnAborted))
 		db.unregisterTxn(tx.id)
 	}
-
-	// Leave a clean starting point for the next crash.
-	return db.Checkpoint()
+	return nil
 }
 
 // redoOne applies a single record if the page has not seen it, fetching the
@@ -111,7 +184,16 @@ func (db *DB) redoOne(rec *wal.Record) error {
 		return fmt.Errorf("redo %v at %v on page %d: %w", rec.Type, rec.LSN, rec.PageID, err)
 	}
 	defer h.Release()
-	if err := wal.Redo(h.Page(), rec); err != nil {
+	p := h.Page()
+	if rec.Type == wal.TypeAllocBits && p.Type() != page.TypeAllocMap && p.PageLSN() == 0 {
+		// Allocation map pages are formatted directly (unlogged) when the
+		// engine creates them; a page rebuilt from scratch by redo — a
+		// replica starting from an empty directory, or a map page that
+		// never reached disk before a crash — sees its first AllocBits
+		// record on a fresh zero frame and must take the format here.
+		p.Format(page.ID(rec.PageID), page.TypeAllocMap, 0)
+	}
+	if err := wal.Redo(p, rec); err != nil {
 		return err
 	}
 	h.MarkDirty()

@@ -69,6 +69,9 @@ func (db *DB) Begin() (*Txn, error) {
 	if db.closed.Load() {
 		return nil, errors.New("engine: database closed")
 	}
+	if db.standby.Load() {
+		return nil, ErrStandby
+	}
 	t := &Txn{db: db, id: db.nextTxnID.Add(1)}
 	db.registerTxn(t)
 	return t, nil

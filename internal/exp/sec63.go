@@ -26,6 +26,70 @@ type ConcurrentResult struct {
 	AvgAsOfQuery  time.Duration // real time
 }
 
+// asofLoop is THE §6.3 as-of workload: the paced loop every arm that
+// measures as-of interference shares (single-node Concurrent, and both
+// standby arms of the replication experiment), so the pacing constants can
+// never desynchronize between the arms being compared.
+//
+// The paper ran its as-of loop back to back on two quad-core Xeons, where
+// one greedy connection consumes ~1/8 of the machine; the loop imposes the
+// same proportional load by sleeping 7x each iteration's busy time — on a
+// small core count an unpaced loop measures raw CPU scheduling share, not
+// the read-path interference §6.3 is about. Each mounted snapshot serves
+// stock-level queries until the query side has spent ~1.5x the creation
+// cost, matching the paper's ~20s create / ~30s query duty cycle.
+func asofLoop(stop <-chan struct{}, scale tpcc.Config, mount func() (*sec63Snapshot, error)) (snapshots int, createTotal, queryTotal time.Duration, err error) {
+	var pause time.Duration
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(pause):
+		}
+		iterStart := time.Now()
+		t0 := time.Now()
+		s, merr := mount()
+		if merr != nil {
+			err = merr
+			return
+		}
+		t1 := time.Now()
+		q := 0
+		for {
+			if _, qerr := tpcc.StockLevel(s.q, q%scale.Warehouses+1, q%10+1, 15); qerr != nil {
+				err = qerr
+				s.close()
+				return
+			}
+			q++
+			if time.Since(t1) >= t1.Sub(t0)*3/2 {
+				break
+			}
+			select {
+			case <-stop:
+				queryTotal += time.Since(t1)
+				createTotal += t1.Sub(t0)
+				snapshots++
+				s.close()
+				return
+			default:
+			}
+		}
+		queryTotal += time.Since(t1)
+		createTotal += t1.Sub(t0)
+		snapshots++
+		s.close()
+		pause = 7 * time.Since(iterStart)
+	}
+}
+
+// sec63Snapshot adapts any mounted snapshot (primary or standby) to
+// asofLoop.
+type sec63Snapshot struct {
+	q     tpcc.Queryable
+	close func()
+}
+
 // Concurrent runs the benchmark twice on identical fresh databases — once
 // alone, once with a background as-of query loop — and compares throughput.
 func Concurrent(dir string, txns, clients int, w io.Writer) (ConcurrentResult, error) {
@@ -68,61 +132,13 @@ func Concurrent(dir string, txns, clients int, w io.Writer) (ConcurrentResult, e
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				// The paper ran its as-of loop back to back on two
-				// quad-core Xeons, where one greedy connection consumes
-				// ~1/8 of the machine. Impose the same proportional load
-				// here by sleeping 7x each iteration's busy time after it —
-				// on a small core count an unpaced loop measures raw CPU
-				// scheduling share, not the read-path interference §6.3 is
-				// about.
-				var pause time.Duration
-				for {
-					select {
-					case <-stop:
-						return
-					case <-time.After(pause):
-					}
-					iterStart := time.Now()
-					target := db.Now().Add(-5 * time.Minute)
-					t0 := time.Now()
-					s, err := asof.CreateSnapshot(db, target, nil)
+				snapshots, createTotal, queryTotal, loopErr = asofLoop(stop, scale, func() (*sec63Snapshot, error) {
+					s, err := asof.CreateSnapshot(db, db.Now().Add(-5*time.Minute), nil)
 					if err != nil {
-						loopErr = err
-						return
+						return nil, err
 					}
-					t1 := time.Now()
-					// Match the paper's §6.3 duty cycle — ~20s of snapshot
-					// creation vs ~30s of as-of stock-level execution — by
-					// running queries against the mounted snapshot until the
-					// query side has spent ~1.5x the creation cost, instead
-					// of paying a fresh creation per query.
-					q := 0
-					for {
-						if _, err := tpcc.StockLevel(s, q%scale.Warehouses+1, q%10+1, 15); err != nil {
-							loopErr = err
-							s.Close()
-							return
-						}
-						q++
-						if time.Since(t1) >= t1.Sub(t0)*3/2 {
-							break
-						}
-						select {
-						case <-stop:
-							queryTotal += time.Since(t1)
-							createTotal += t1.Sub(t0)
-							snapshots++
-							s.Close()
-							return
-						default:
-						}
-					}
-					queryTotal += time.Since(t1)
-					createTotal += t1.Sub(t0)
-					snapshots++
-					s.Close()
-					pause = 7 * time.Since(iterStart)
-				}
+					return &sec63Snapshot{q: s, close: func() { s.Close() }}, nil
+				})
 			}()
 		}
 		res, err := d.Run(txns, clients)

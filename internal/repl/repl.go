@@ -1,0 +1,33 @@
+// Package repl implements log-shipping replication: warm standbys kept
+// current by continuous parallel redo over the primary's transaction log,
+// serving the paper's point-in-time queries at a bounded, observable lag.
+//
+// The paper's system (§3) lives inside SQL Azure, where every database is
+// already maintained on log-shipped replicas; this package supplies the
+// missing half of that environment so §6.3-style as-of traffic can be
+// scaled horizontally — absorbed by standbys — instead of stealing primary
+// CPU. The log stream is the replication medium (Yao et al., "Adaptive
+// Logging"): the replica's local log is a byte-identical copy of the
+// primary's, so LSNs line up and the entire as-of read path (per-page
+// chain walks, the sparse time→LSN index, snapshot mounting, FindCommits)
+// works against it unchanged.
+//
+// Primary side: Shipper hooks the group-commit flush pipeline
+// (wal.Manager.FlushNotify) and streams newly durable byte ranges as
+// framed, CRC-checked batches over a transport Conn — in-process channel
+// pairs (Pipe) for embedded replicas and tests, length-prefixed TCP
+// (Listen/Dial) for real deployments. Shipping reads the warm log tail
+// with ReadDurable, bypassing the random-read block cache that as-of chain
+// walks depend on.
+//
+// Replica side: Replica runs a standing redo loop factored out of crash
+// recovery (engine.RecoveryState / RedoRecord): analysis state is
+// maintained incrementally — exact at every applied LSN, so neither
+// snapshot mounting nor promotion ever scans the log for analysis — and
+// redo is applied in parallel by workers partitioned on page id (Wu et
+// al., "Fast Failure Recovery"). The replica keeps its own checkpoint
+// cadence (page flush + persisted apply state, never log records) for
+// bounded restart, reseeds the time→LSN index and ATT marks from the
+// stream, and mounts as-of snapshots locally. Promote completes undo and
+// reopens the standby read-write.
+package repl

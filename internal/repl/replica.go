@@ -1,0 +1,757 @@
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/asof"
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// ReplicaOptions tunes a warm standby.
+type ReplicaOptions struct {
+	// Engine configures the standby engine (buffer pool, clock, retention).
+	Engine engine.Options
+	// ApplyWorkers is the parallelism of the continuous redo loop: page
+	// operations are partitioned across workers by page id (per-page order
+	// is total within a worker; physiological redo needs nothing more).
+	// Default 4; 1 applies inline.
+	ApplyWorkers int
+	// ParallelApplyThreshold is the page-op count below which a batch is
+	// applied inline — fan-out costs more than it saves for tiny batches
+	// (a single group-commit flush is often one transaction). Default 16.
+	ParallelApplyThreshold int
+	// CheckpointEvery is the replica's own checkpoint cadence in applied
+	// log bytes (default 4 MiB): flush dirty pages, sync, persist apply
+	// state — so a restart replays at most this much local log instead of
+	// the whole shipped history. Replica checkpoints append nothing to the
+	// log (the shipped log must stay byte-identical to the primary's).
+	CheckpointEvery int64
+	// AnalysisMarkEvery is the cadence (applied bytes) of ATT-mark captures
+	// fed to the engine, giving standby snapshot resolution the same
+	// O(mark interval) analysis scans as the primary. Default 256 KiB.
+	AnalysisMarkEvery int64
+	// SnapshotWait bounds how long SnapshotAsOf waits for the apply loop to
+	// reach the resolved SplitLSN before giving up. Default 10s.
+	SnapshotWait time.Duration
+}
+
+func (o ReplicaOptions) withDefaults() ReplicaOptions {
+	if o.ApplyWorkers <= 0 {
+		o.ApplyWorkers = 4
+	}
+	if o.ParallelApplyThreshold <= 0 {
+		o.ParallelApplyThreshold = 16
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 4 << 20
+	}
+	if o.AnalysisMarkEvery <= 0 {
+		o.AnalysisMarkEvery = 256 << 10
+	}
+	if o.SnapshotWait <= 0 {
+		o.SnapshotWait = 10 * time.Second
+	}
+	return o
+}
+
+// ErrSubscriptionRejected reports that the primary refused the stream
+// (typically: the replica's resume point predates retention truncation).
+// Retrying cannot succeed — the replica must be reseeded.
+var ErrSubscriptionRejected = errors.New("repl: primary rejected subscription")
+
+// Replica is a warm standby: a standby engine plus the standing redo loop
+// that keeps it current from a shipped log stream. The replica's local log
+// is a byte-identical copy of the primary's (same LSNs), so the entire
+// as-of machinery — chain walks, time→LSN resolution, snapshot mounting —
+// works against it unchanged, and point-in-time queries run on the standby
+// at a bounded, observable lag instead of stealing primary CPU.
+type Replica struct {
+	db   *engine.DB
+	opts ReplicaOptions
+	dir  string
+
+	// st is the incremental §5.2 analysis state, exact at AppliedLSN: the
+	// replica never runs an analysis scan to promote, and feeds periodic
+	// ATT-mark captures from it so snapshot mounting doesn't either.
+	st *engine.RecoveryState
+
+	// pending buffers stream bytes not yet parsed into complete records —
+	// a batch cut mid-record (the shipper never does this, but the
+	// transport may) stays pending until its remainder arrives.
+	pending   []byte
+	pendingAt wal.LSN // LSN of pending[0]
+
+	primaryDurable atomic.Uint64 // primary's flushed LSN, from frames
+	lastCommitWC   atomic.Int64  // wallclock of last applied commit
+	lastCommitLSN  atomic.Uint64
+	appliedBatches atomic.Int64
+	appliedBytes   atomic.Int64
+	appliedRecords atomic.Int64
+
+	lastCkptAt   wal.LSN // applied position of the last replica checkpoint
+	lastMarkAt   wal.LSN // applied position of the last ATT mark
+	ackedBatches int64   // batches applied as of the last ack sent
+
+	runMu    sync.Mutex // serializes Run sessions and Promote
+	promoted atomic.Bool
+	closed   atomic.Bool
+
+	// applyPaused defers redo: batches are still parsed and made durable
+	// in the local log (ingest never stops), but application to pages —
+	// and everything keyed to it: analysis, marks, applied LSN — waits.
+	// Deferred lag shows up in Status as usual and drains on resume.
+	applyPaused atomic.Bool
+
+	// conn is the active session's connection (nil outside Run). Close
+	// uses it to kick a parked Run off its Recv instead of deadlocking on
+	// runMu.
+	connMu sync.Mutex
+	conn   Conn
+}
+
+// OpenReplica opens (creating if needed) a standby in dir. A directory
+// holding previously shipped state resumes from its last replica
+// checkpoint: the local log is scanned forward from the checkpointed apply
+// position (a torn tail — a crash mid-ingest — is truncated to the last
+// valid CRC boundary first), so restart cost is bounded by the checkpoint
+// cadence, not the history size.
+func OpenReplica(dir string, opts ReplicaOptions) (*Replica, error) {
+	opts = opts.withDefaults()
+	if _, err := os.Stat(filepath.Join(dir, promotedMarker)); err == nil {
+		// The fork is durable state, not an in-process condition: a
+		// promoted directory's log carries local records (promotion CLRs,
+		// checkpoints, new commits) at LSNs the primary has since assigned
+		// to different bytes. Resubscribing would interleave primary bytes
+		// after the fork and serve CRC-valid garbage.
+		return nil, fmt.Errorf("repl: %s was promoted and its log has forked from the primary's; "+
+			"open it with engine.Open, or delete the directory to reseed a fresh replica", dir)
+	}
+	eng, err := engine.OpenStandby(dir, opts.Engine)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		db:   eng,
+		opts: opts,
+		dir:  dir,
+		st:   engine.NewRecoveryState(),
+	}
+
+	applied := wal.LSN(0)
+	if state, ok, err := readReplicaState(r.statePath()); err != nil {
+		eng.Close()
+		return nil, err
+	} else if ok {
+		applied = state.Applied
+		r.st.MaxTxn = state.MaxTxn
+		r.st.Seed(state.ATT)
+		r.lastCommitWC.Store(state.LastCommitWC)
+		r.lastCommitLSN.Store(uint64(state.LastCommitLSN))
+	}
+
+	// Catch up from the local log copy: everything at or below `applied`
+	// is reflected in (or flushable from) the data file; replay the rest.
+	// validEnd tracks the last intact record so a torn ingest tail is cut
+	// before the stream resumes at that exact boundary.
+	validEnd := applied
+	err = eng.Log().Scan(applied+1, func(rec *wal.Record) (bool, error) {
+		if err := r.applyOne(rec); err != nil {
+			return false, err
+		}
+		validEnd = rec.LSN + wal.LSN(rec.ApproxSize()) - 1
+		return true, nil
+	})
+	if err != nil {
+		eng.Close()
+		return nil, fmt.Errorf("repl: local catch-up: %w", err)
+	}
+	if end := wal.LSN(eng.Log().Size()); validEnd < end {
+		if err := eng.Log().Rewind(validEnd); err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("repl: torn-tail rewind to %v: %w", validEnd, err)
+		}
+	}
+	eng.SetAppliedLSN(validEnd)
+	r.pendingAt = validEnd + 1
+	r.lastCkptAt = validEnd
+	r.lastMarkAt = validEnd
+	return r, nil
+}
+
+// DB exposes the standby engine (read-only until promotion): as-of
+// snapshots, FindCommits, consistency checks all run against it.
+func (r *Replica) DB() *engine.DB { return r.db }
+
+// AppliedLSN returns the redo high-water mark.
+func (r *Replica) AppliedLSN() wal.LSN { return r.db.AppliedLSN() }
+
+// Close shuts the standby down (pages flushed, apply state persisted),
+// ending any active streaming session first. A promoted replica's engine
+// belongs to the caller and is not closed here.
+func (r *Replica) Close() error {
+	if r.closed.Swap(true) || r.promoted.Load() {
+		return nil
+	}
+	r.connMu.Lock() // closed is set; any conn registered before or after this point gets kicked or refused
+	if r.conn != nil {
+		r.conn.Close() // kick Run off its Recv
+	}
+	r.connMu.Unlock()
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	if err := r.checkpoint(); err != nil {
+		return err
+	}
+	return r.db.Close()
+}
+
+func (r *Replica) statePath() string { return filepath.Join(r.dir, "replica.state") }
+
+// --- the standing redo loop ---
+
+// Run executes one streaming session over conn: subscribe at the end of
+// the local log, ingest batches, continuously apply. It returns nil when
+// the session ends cleanly (connection closed, shipper stopped) and an
+// error on stream corruption or apply failure. Callers reconnect and call
+// Run again to resume — the subscription point is always derived from the
+// local log, so sessions are idempotent at record granularity.
+func (r *Replica) Run(conn Conn) error {
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	if r.promoted.Load() {
+		return errors.New("repl: replica has been promoted")
+	}
+	if !r.db.Standby() {
+		// A failed promotion cleared the standby flag with local records
+		// possibly appended: the log may have forked from the primary's,
+		// and streaming onto it would serve CRC-valid garbage.
+		return errors.New("repl: engine is no longer a standby (failed promotion?); cannot resume streaming")
+	}
+	// Register the conn and check closed under one lock so a concurrent
+	// Close either sees the conn (and kicks this session) or is seen here.
+	r.connMu.Lock()
+	if r.closed.Load() {
+		r.connMu.Unlock()
+		return errors.New("repl: replica is closed")
+	}
+	r.conn = conn
+	r.connMu.Unlock()
+	defer func() {
+		r.connMu.Lock()
+		r.conn = nil
+		r.connMu.Unlock()
+	}()
+
+	// Drop any cross-session parse remainder: the new subscription starts
+	// at the last complete record boundary.
+	r.pending = r.pending[:0]
+	r.pendingAt = r.db.Log().NextLSN()
+
+	if err := conn.Send(&Frame{Kind: KindSubscribe, From: r.pendingAt}); err != nil {
+		return err
+	}
+	hello, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	switch hello.Kind {
+	case KindError:
+		return fmt.Errorf("%w: %s", ErrSubscriptionRejected, hello.Payload)
+	case KindHello:
+	default:
+		return fmt.Errorf("repl: expected hello, got %v", hello.Kind)
+	}
+	if hello.From != r.pendingAt {
+		return fmt.Errorf("repl: primary would stream from %v, want %v", hello.From, r.pendingAt)
+	}
+	info, err := decodeBootInfo(hello.Payload)
+	if err != nil {
+		return err
+	}
+	r.primaryDurable.Store(uint64(hello.Durable))
+	if !r.db.Bootstrapped() {
+		if err := r.db.InitStandbyBoot(info.Roots, info.CreatedAt); err != nil {
+			return err
+		}
+	}
+
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		switch f.Kind {
+		case KindBatch:
+			if f.Durable != wal.NilLSN {
+				r.primaryDurable.Store(uint64(f.Durable))
+			}
+			if err := r.ingest(f.From, f.Payload); err != nil {
+				return err
+			}
+		case KindHeartbeat:
+			if f.Durable != wal.NilLSN {
+				r.primaryDurable.Store(uint64(f.Durable))
+			}
+			// A deferred-apply backlog drains on the first idle beat after
+			// ResumeApply even if no new batch ever arrives.
+			if !r.applyPaused.Load() && r.db.AppliedLSN()+1 < r.db.Log().NextLSN() {
+				if err := r.catchUpLocal(); err != nil {
+					return err
+				}
+				if err := r.maybeMaintain(); err != nil {
+					return err
+				}
+			}
+		case KindError:
+			return fmt.Errorf("repl: primary error: %s", f.Payload)
+		default:
+			return fmt.Errorf("repl: unexpected %v frame mid-stream", f.Kind)
+		}
+		// Ack on heartbeats (idle stream: report promptly) and every few
+		// batches under load — per-batch acks would double the scheduler
+		// churn of a busy stream for no added information.
+		if f.Kind == KindHeartbeat || r.appliedBatches.Load()-r.ackedBatches >= 8 {
+			r.ackedBatches = r.appliedBatches.Load()
+			if err := r.sendAck(conn); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (r *Replica) sendAck(conn Conn) error {
+	return conn.Send(&Frame{
+		Kind:      KindAck,
+		From:      r.db.AppliedLSN(),
+		Durable:   r.db.Log().FlushedLSN(),
+		WallClock: r.lastCommitWC.Load(),
+	})
+}
+
+// ingest folds one shipped batch into the replica: parse the complete
+// records (an incomplete tail stays pending), make their raw bytes durable
+// in the local log (the WAL rule: log before pages), apply them — in
+// parallel across page-partitioned workers — and advance the applied LSN.
+func (r *Replica) ingest(from wal.LSN, payload []byte) error {
+	expect := r.pendingAt + wal.LSN(len(r.pending))
+	if from != expect {
+		return fmt.Errorf("repl: stream gap: batch at %v, want %v", from, expect)
+	}
+	r.pending = append(r.pending, payload...)
+
+	// Parse the complete-record prefix. Under deferred apply only the
+	// frame boundaries (and their CRCs) are checked — the records are
+	// decoded when the backlog replays from the local log.
+	paused := r.applyPaused.Load()
+	var recs []*wal.Record
+	if !paused {
+		recs = make([]*wal.Record, 0, 64)
+	}
+	off := 0
+	for {
+		body, size, ok, err := wal.NextFrame(r.pending[off:])
+		if err != nil {
+			return fmt.Errorf("repl: corrupt record at %v: %w", r.pendingAt+wal.LSN(off), err)
+		}
+		if !ok {
+			break
+		}
+		if !paused {
+			rec, err := wal.DecodeBody(body)
+			if err != nil {
+				return fmt.Errorf("repl: undecodable record at %v: %w", r.pendingAt+wal.LSN(off), err)
+			}
+			rec.LSN = r.pendingAt + wal.LSN(off)
+			recs = append(recs, rec)
+		}
+		off += size
+	}
+	if off == 0 {
+		return nil // batch ended mid-record; wait for the remainder
+	}
+
+	// Durability first: the raw bytes join the local log (one sequential
+	// write, mirroring the primary's flush that produced them) before any
+	// page is touched.
+	if _, err := r.db.Log().AppendRaw(r.pending[:off]); err != nil {
+		return err
+	}
+	r.appliedBatches.Add(1)
+	ingestEnd := r.pendingAt + wal.LSN(off) - 1
+	firstNew := r.pendingAt
+
+	// Apply BEFORE shifting the parse buffer: recs alias r.pending, and
+	// compacting the leftover tail to the front would corrupt the very
+	// bytes being applied. `paused` is the value read at parse time — a
+	// flip mid-ingest takes effect on the next batch.
+	switch {
+	case paused:
+		// Deferred: the local log holds it; resume replays it.
+	case r.db.AppliedLSN()+1 == firstNew:
+		// Steady state: apply the just-parsed records directly.
+		if err := r.apply(recs); err != nil {
+			return err
+		}
+		r.db.SetAppliedLSN(ingestEnd)
+		r.appliedBytes.Add(int64(off))
+		r.appliedRecords.Add(int64(len(recs)))
+	default:
+		// A deferred-apply window just ended: replay the backlog (which
+		// includes this batch) from the local log in order.
+		if err := r.catchUpLocal(); err != nil {
+			return err
+		}
+	}
+	r.pendingAt = ingestEnd + 1
+	r.pending = append(r.pending[:0], r.pending[off:]...)
+	if paused {
+		return nil
+	}
+	return r.maybeMaintain()
+}
+
+// maybeMaintain runs the applied-volume cadences: ATT-mark captures and
+// replica checkpoints.
+func (r *Replica) maybeMaintain() error {
+	applied := r.db.AppliedLSN()
+	if applied >= r.lastMarkAt+wal.LSN(r.opts.AnalysisMarkEvery) {
+		r.lastMarkAt = applied
+		r.db.NoteAnalysisMark(engine.AnalysisMark{
+			Begin: applied + 1,
+			End:   applied + 1,
+			ATT:   r.st.Inflight(),
+		})
+	}
+	if applied >= r.lastCkptAt+wal.LSN(r.opts.CheckpointEvery) {
+		r.lastCkptAt = applied
+		if err := r.checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// catchUpLocal replays local log records past the applied LSN (the
+// deferred-apply backlog, or a restart's tail) in order.
+func (r *Replica) catchUpLocal() error {
+	end := wal.LSN(0)
+	err := r.db.Log().Scan(r.db.AppliedLSN()+1, func(rec *wal.Record) (bool, error) {
+		if err := r.applyOne(rec); err != nil {
+			return false, err
+		}
+		end = rec.LSN + wal.LSN(rec.ApproxSize()) - 1
+		r.appliedBytes.Add(int64(rec.ApproxSize()))
+		r.appliedRecords.Add(1)
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	if end != wal.NilLSN {
+		r.db.SetAppliedLSN(end)
+	}
+	return nil
+}
+
+// PauseApply defers redo (cf. PostgreSQL's recovery_min_apply_delay, taken
+// to manual control): ingestion and local durability continue, pages stop
+// advancing. As-of queries keep working against the applied horizon — the
+// §1 recover-the-past scenario doesn't need the newest state — and lag is
+// reported as usual. Used operationally to hold a standby at a known-good
+// point while investigating an application error, and by the 1-core
+// benchmark harness to model a standby whose apply CPU lives on separate
+// hardware.
+func (r *Replica) PauseApply() { r.applyPaused.Store(true) }
+
+// ResumeApply re-enables redo; the backlog drains on the next frame (a
+// heartbeat at the latest).
+func (r *Replica) ResumeApply() { r.applyPaused.Store(false) }
+
+// apply runs one batch of records through analysis and redo. Analysis and
+// non-page bookkeeping happen in log order on the coordinator; page
+// operations are partitioned by page id across workers (Wu et al.: redo
+// parallelizes cleanly when partitioned — physiological redo touches
+// exactly one page per record, so per-page order is the only order that
+// matters, and partitioning preserves it). The batch is a barrier: the
+// applied LSN only advances once every worker drains.
+func (r *Replica) apply(recs []*wal.Record) error {
+	workers := r.opts.ApplyWorkers
+	var pageOps []*wal.Record
+	for _, rec := range recs {
+		r.observe(rec)
+		if rec.IsPageOp() && rec.PageID != wal.NoPage {
+			pageOps = append(pageOps, rec)
+		}
+	}
+	if workers <= 1 || len(pageOps) < r.opts.ParallelApplyThreshold {
+		for _, rec := range pageOps {
+			if err := r.db.RedoRecord(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	parts := make([][]*wal.Record, workers)
+	for _, rec := range pageOps {
+		w := int((uint64(rec.PageID) * 0x9E3779B97F4A7C15) >> 32 % uint64(workers))
+		parts[w] = append(parts[w], rec)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := range parts {
+		if len(parts[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, rec := range parts[w] {
+				if err := r.db.RedoRecord(rec); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observe folds one record into the incremental analysis state and the
+// standby's time/checkpoint indexes.
+func (r *Replica) observe(rec *wal.Record) {
+	r.st.Observe(rec)
+	switch rec.Type {
+	case wal.TypeCommit:
+		// Reseed the sparse time→LSN index exactly as the primary's Append
+		// path did: same commits, same order, same cadence rule — so
+		// ResolveTime on the standby narrows to the same windows.
+		r.db.Log().ObserveCommit(rec.WallClock, rec.LSN)
+		r.lastCommitWC.Store(rec.WallClock)
+		r.lastCommitLSN.Store(uint64(rec.LSN))
+	case wal.TypeCheckpointEnd:
+		if data, err := wal.DecodeCheckpoint(rec.Extra); err == nil {
+			r.db.NoteCheckpoint(engine.CkptMark{
+				WallClock: rec.WallClock,
+				Begin:     data.BeginLSN,
+				End:       rec.LSN,
+			})
+		}
+	}
+}
+
+// applyOne is the sequential (local catch-up) form of apply+observe.
+func (r *Replica) applyOne(rec *wal.Record) error {
+	r.observe(rec)
+	return r.db.RedoRecord(rec)
+}
+
+// checkpoint is the replica's own checkpoint: flush dirty pages, sync,
+// persist the boot page and the apply state — no log records, so the
+// shipped log stays byte-identical to the primary's. Restart replays only
+// the local log past the persisted apply position.
+func (r *Replica) checkpoint() error {
+	if err := r.db.Pool().FlushAll(); err != nil {
+		return err
+	}
+	if err := r.db.Data().Sync(); err != nil {
+		return err
+	}
+	if r.db.Bootstrapped() {
+		if err := r.db.PersistBoot(); err != nil {
+			return err
+		}
+	}
+	return writeReplicaState(r.statePath(), replicaState{
+		Applied:       r.db.AppliedLSN(),
+		MaxTxn:        r.st.MaxTxn,
+		ATT:           r.st.Inflight(),
+		LastCommitWC:  r.lastCommitWC.Load(),
+		LastCommitLSN: wal.LSN(r.lastCommitLSN.Load()),
+	})
+}
+
+// --- queries on the standby ---
+
+// SnapshotAsOf mounts an as-of snapshot on the standby, waiting (bounded
+// by SnapshotWait) for the apply loop to pass the resolved SplitLSN when
+// the request races ahead of replication.
+func (r *Replica) SnapshotAsOf(at time.Time) (*asof.Snapshot, error) {
+	deadline := time.Now().Add(r.opts.SnapshotWait)
+	for {
+		s, err := asof.CreateSnapshot(r.db, at, nil)
+		if err == nil || !errors.Is(err, asof.ErrReplicaLagging) {
+			return s, err
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Status is the replica-side lag report.
+type ReplicaStatus struct {
+	Applied        wal.LSN       `json:"applied"`
+	LocalDurable   wal.LSN       `json:"local_durable"`
+	PrimaryDurable wal.LSN       `json:"primary_durable"`
+	LagBytes       int64         `json:"lag_bytes"`
+	LastCommitAt   time.Time     `json:"last_commit_at"`
+	LagTime        time.Duration `json:"lag_time"`
+	Batches        int64         `json:"batches"`
+	Bytes          int64         `json:"bytes"`
+	Records        int64         `json:"records"`
+}
+
+// Status reports the replica's apply progress and observed lag. LagTime is
+// measured on the standby's clock against the last applied commit — only
+// meaningful while the primary is committing (an idle primary's standby
+// shows growing LagTime but zero LagBytes).
+func (r *Replica) Status() ReplicaStatus {
+	st := ReplicaStatus{
+		Applied:        r.db.AppliedLSN(),
+		LocalDurable:   r.db.Log().FlushedLSN(),
+		PrimaryDurable: wal.LSN(r.primaryDurable.Load()),
+		Batches:        r.appliedBatches.Load(),
+		Bytes:          r.appliedBytes.Load(),
+		Records:        r.appliedRecords.Load(),
+	}
+	if lag := int64(st.PrimaryDurable) - int64(st.Applied); lag > 0 {
+		st.LagBytes = lag
+	}
+	if wc := r.lastCommitWC.Load(); wc != 0 {
+		st.LastCommitAt = time.Unix(0, wc)
+		if lag := r.db.Now().Sub(st.LastCommitAt); lag > 0 {
+			st.LagTime = lag
+		}
+	}
+	return st
+}
+
+// Promote completes recovery and opens the replica read-write: the
+// transactions in flight at the promotion point (known exactly from the
+// incremental analysis state — no analysis scan) are rolled back with
+// CLR-generating logical undo, a checkpoint seals the log, and the engine
+// drops its standby restrictions. The stream session must have ended
+// (close the Conn; Run returns) before calling Promote. After promotion
+// the replica's log forks from the primary's: it accepts local commits.
+func (r *Replica) Promote() (*engine.DB, error) {
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	if r.promoted.Load() {
+		return r.db, nil
+	}
+	r.db.EnsureTxnIDAfter(r.st.MaxTxn)
+	if err := r.db.Promote(r.st.Inflight()); err != nil {
+		return nil, err
+	}
+	r.promoted.Store(true)
+	// The standby apply state is meaningless for a primary; recovery now
+	// owns the log. The marker makes the fork durable: OpenReplica refuses
+	// this directory from now on.
+	_ = os.Remove(r.statePath())
+	_ = os.WriteFile(filepath.Join(r.dir, promotedMarker),
+		[]byte("this database was promoted from a log-shipping standby; its log has forked from the primary's\n"), 0o644)
+	return r.db, nil
+}
+
+// promotedMarker is the file Promote leaves so the fork survives restarts.
+const promotedMarker = "promoted.fork"
+
+// --- persisted apply state (replica.state) ---
+
+// replicaState is the replica checkpoint payload: the apply position, the
+// analysis state at it, and the last-commit observation. CRC-guarded; a
+// corrupt or missing file degrades to a full local-log rescan.
+type replicaState struct {
+	Applied       wal.LSN
+	MaxTxn        uint64
+	LastCommitWC  int64
+	LastCommitLSN wal.LSN
+	ATT           []wal.ATTEntry
+}
+
+const replicaStateMagic = "ASOFREPL\x01"
+
+func writeReplicaState(path string, st replicaState) error {
+	buf := make([]byte, 0, 64+24*len(st.ATT))
+	buf = append(buf, replicaStateMagic...)
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(uint64(st.Applied))
+	put(st.MaxTxn)
+	put(uint64(st.LastCommitWC))
+	put(uint64(st.LastCommitLSN))
+	put(uint64(len(st.ATT)))
+	for _, e := range st.ATT {
+		put(e.TxnID)
+		put(uint64(e.LastLSN))
+		put(uint64(e.BeginLSN))
+	}
+	binary.LittleEndian.PutUint64(tmp[:], uint64(crc32.ChecksumIEEE(buf)))
+	buf = append(buf, tmp[:4]...)
+
+	tmpPath := path + ".tmp"
+	if err := os.WriteFile(tmpPath, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmpPath, path)
+}
+
+func readReplicaState(path string) (replicaState, bool, error) {
+	var st replicaState
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return st, false, nil
+	}
+	if err != nil {
+		return st, false, err
+	}
+	n := len(replicaStateMagic)
+	if len(buf) < n+44 || string(buf[:n]) != replicaStateMagic {
+		return st, false, nil // unreadable state: full rescan
+	}
+	body, crc := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != crc {
+		return st, false, nil
+	}
+	get := func(off int) uint64 { return binary.LittleEndian.Uint64(buf[off:]) }
+	st.Applied = wal.LSN(get(n))
+	st.MaxTxn = get(n + 8)
+	st.LastCommitWC = int64(get(n + 16))
+	st.LastCommitLSN = wal.LSN(get(n + 24))
+	cnt := int(get(n + 32))
+	if len(body) != n+40+24*cnt {
+		return replicaState{}, false, nil
+	}
+	for i := 0; i < cnt; i++ {
+		off := n + 40 + 24*i
+		st.ATT = append(st.ATT, wal.ATTEntry{
+			TxnID:    get(off),
+			LastLSN:  wal.LSN(get(off + 8)),
+			BeginLSN: wal.LSN(get(off + 16)),
+		})
+	}
+	return st, true, nil
+}

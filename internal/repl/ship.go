@@ -1,0 +1,338 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// ShipperOptions tunes the primary-side log shipper.
+type ShipperOptions struct {
+	// BatchBytes caps one shipped batch (default 256 KiB). Batches are
+	// usually much smaller: the shipper drains whatever a group-commit
+	// flush made durable, so batch boundaries ride flush boundaries.
+	BatchBytes int
+	// HeartbeatEvery bounds how long an idle stream stays silent (default
+	// 500ms): heartbeats carry the primary's durable LSN and clock so a
+	// replica's lag observation never goes stale.
+	HeartbeatEvery time.Duration
+	// BatchLinger, when positive, lets a batch smaller than MinBatchBytes
+	// wait that long for more flushes to coalesce before it ships — the
+	// wakeups-per-byte knob (cf. Kafka linger.ms): a busy primary flushing
+	// every ~100µs would otherwise wake the shipper, the transport and the
+	// replica for every tiny flush. Costs up to BatchLinger of extra lag.
+	// Default 0: every batch ships on its flush boundary.
+	BatchLinger time.Duration
+	// MinBatchBytes is the coalescing target (default 64 KiB); batches at
+	// or above it never linger.
+	MinBatchBytes int
+}
+
+func (o ShipperOptions) withDefaults() ShipperOptions {
+	if o.BatchBytes <= 0 {
+		o.BatchBytes = 256 << 10
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if o.MinBatchBytes <= 0 {
+		o.MinBatchBytes = 64 << 10
+	}
+	return o
+}
+
+// Shipper streams a primary's WAL to subscribed replicas. It hooks the
+// group-commit flush path (wal.Manager.FlushNotify): every completed flush
+// wakes each subscriber's stream loop, which reads the newly durable bytes
+// straight from the log file (ReadDurable — never through the random-read
+// block cache, so shipping cannot evict the hot chain-walk window) and
+// sends them as one framed, CRC-checked batch. Shipping therefore costs
+// the primary one extra sequential read of bytes that are still warm in
+// the OS page cache, and no commit-path work at all.
+type Shipper struct {
+	db   *engine.DB
+	opts ShipperOptions
+
+	mu     sync.Mutex
+	nextID int
+	subs   map[int]*subscriber
+
+	closed atomic.Bool
+	stop   chan struct{}
+}
+
+// subscriber is the shipper's view of one replica session.
+type subscriber struct {
+	id   int
+	conn Conn
+
+	shipped      atomic.Uint64 // last byte shipped
+	ackedApplied atomic.Uint64 // replica's applied LSN (from acks)
+	ackedDurable atomic.Uint64 // replica's locally durable log end
+	lastCommitWC atomic.Int64  // commit wallclock last applied by the replica
+	connectedAt  time.Time
+	bytesShipped atomic.Int64
+	batchesSent  atomic.Int64
+}
+
+// SubscriberStatus is a point-in-time report for one replica — the payload
+// of `asofctl repl-status`.
+type SubscriberStatus struct {
+	ID int `json:"id"`
+	// PrimaryDurable is the primary's flushed LSN at report time; Shipped
+	// the last byte sent to this replica; Applied and ReplicaDurable the
+	// replica's last acked apply/durability positions.
+	PrimaryDurable wal.LSN `json:"primary_durable"`
+	Shipped        wal.LSN `json:"shipped"`
+	Applied        wal.LSN `json:"applied"`
+	ReplicaDurable wal.LSN `json:"replica_durable"`
+	// LagBytes is PrimaryDurable - Applied: the log the replica still has
+	// to apply before it sees the primary's newest committed state.
+	LagBytes int64 `json:"lag_bytes"`
+	// LastCommitAt is the commit time of the last transaction the replica
+	// applied; LagSeconds the primary clock's distance from it. Both are
+	// zero before the replica applies its first commit.
+	LastCommitAt time.Time     `json:"last_commit_at"`
+	LagSeconds   float64       `json:"lag_seconds"`
+	Connected    time.Duration `json:"connected_seconds"`
+	BytesShipped int64         `json:"bytes_shipped"`
+	Batches      int64         `json:"batches"`
+}
+
+// NewShipper creates a shipper over db. One shipper serves any number of
+// concurrent subscriber sessions (Serve is called per connection).
+func NewShipper(db *engine.DB, opts ShipperOptions) *Shipper {
+	return &Shipper{
+		db:   db,
+		opts: opts.withDefaults(),
+		subs: make(map[int]*subscriber),
+		stop: make(chan struct{}),
+	}
+}
+
+// Close stops all sessions.
+func (s *Shipper) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.stop)
+}
+
+// Status reports every connected subscriber.
+func (s *Shipper) Status() []SubscriberStatus {
+	durable := s.db.Log().FlushedLSN()
+	now := s.db.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SubscriberStatus, 0, len(s.subs))
+	for _, sub := range s.subs {
+		st := SubscriberStatus{
+			ID:             sub.id,
+			PrimaryDurable: durable,
+			Shipped:        wal.LSN(sub.shipped.Load()),
+			Applied:        wal.LSN(sub.ackedApplied.Load()),
+			ReplicaDurable: wal.LSN(sub.ackedDurable.Load()),
+			Connected:      now.Sub(sub.connectedAt),
+			BytesShipped:   sub.bytesShipped.Load(),
+			Batches:        sub.batchesSent.Load(),
+		}
+		st.LagBytes = int64(st.PrimaryDurable) - int64(st.Applied)
+		if st.LagBytes < 0 {
+			st.LagBytes = 0
+		}
+		if wc := sub.lastCommitWC.Load(); wc != 0 {
+			st.LastCommitAt = time.Unix(0, wc)
+			if lag := now.Sub(st.LastCommitAt); lag > 0 {
+				st.LagSeconds = lag.Seconds()
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// StatusJSON renders Status as JSON (the KindStatus reply payload).
+func (s *Shipper) StatusJSON() []byte {
+	b, _ := json.Marshal(s.Status())
+	return b
+}
+
+// TapStream subscribes at from and discards the stream as it arrives,
+// counting payload bytes into n when non-nil. A tap is a subscriber whose
+// processing happens elsewhere — an egress pipe to another machine, an
+// archiver, or a benchmark sink measuring the primary-side cost of
+// shipping in isolation. Returns when the session ends.
+func TapStream(conn Conn, from wal.LSN, n *atomic.Int64) error {
+	if err := conn.Send(&Frame{Kind: KindSubscribe, From: from}); err != nil {
+		return err
+	}
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		switch f.Kind {
+		case KindBatch:
+			if n != nil {
+				n.Add(int64(len(f.Payload)))
+			}
+		case KindError:
+			return fmt.Errorf("repl: primary error: %s", f.Payload)
+		}
+	}
+}
+
+// Serve runs one subscriber session over conn, blocking until the session
+// ends. It expects a KindSubscribe frame, replies with KindHello (carrying
+// the boot info a fresh replica needs), then streams batches as flushes
+// complete, interleaving heartbeats while idle. A KindStatus request is
+// answered with the shipper's full status instead of a stream.
+func (s *Shipper) Serve(conn Conn) error {
+	defer conn.Close()
+	req, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("repl: subscribe: %w", err)
+	}
+	switch req.Kind {
+	case KindStatus:
+		return conn.Send(&Frame{Kind: KindStatus, Payload: s.StatusJSON()})
+	case KindSubscribe:
+	default:
+		return fmt.Errorf("repl: unexpected %v frame before subscribe", req.Kind)
+	}
+
+	log := s.db.Log()
+	from := req.From
+	if from == wal.NilLSN {
+		from = 1
+	}
+	if t := log.TruncationPoint(); from < t {
+		// The requested history is gone (retention truncation): the replica
+		// must be reseeded from a backup image; plain log shipping cannot
+		// bridge the gap.
+		_ = conn.Send(&Frame{Kind: KindError,
+			Payload: []byte(fmt.Sprintf("subscription at %v predates truncation point %v; reseed the replica", from, t))})
+		return fmt.Errorf("repl: subscription at %v predates truncation point %v", from, t)
+	}
+	if next := log.NextLSN(); from > next {
+		_ = conn.Send(&Frame{Kind: KindError,
+			Payload: []byte(fmt.Sprintf("subscription at %v is past the log end %v; replica log diverged", from, next))})
+		return fmt.Errorf("repl: subscription at %v past log end %v", from, next)
+	}
+
+	sub := &subscriber{conn: conn, connectedAt: s.db.Now()}
+	sub.shipped.Store(uint64(from - 1))
+	s.mu.Lock()
+	s.nextID++
+	sub.id = s.nextID
+	s.subs[sub.id] = sub
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.subs, sub.id)
+		s.mu.Unlock()
+	}()
+
+	hello := &Frame{
+		Kind:    KindHello,
+		From:    from,
+		Durable: log.FlushedLSN(),
+		Payload: encodeBootInfo(bootInfo{
+			Roots:     s.db.Roots(),
+			CreatedAt: s.db.CreatedAt().UnixNano(),
+			TruncLSN:  log.TruncationPoint(),
+		}),
+	}
+	if err := conn.Send(hello); err != nil {
+		return err
+	}
+
+	// Ack reader: drains replica progress reports concurrently with the
+	// stream loop. Its exit (connection closed) also ends the session.
+	recvErr := make(chan error, 1)
+	go func() {
+		for {
+			f, err := conn.Recv()
+			if err != nil {
+				recvErr <- err
+				return
+			}
+			if f.Kind == KindAck {
+				sub.ackedApplied.Store(uint64(f.From))
+				sub.ackedDurable.Store(uint64(f.Durable))
+				if f.WallClock != 0 {
+					sub.lastCommitWC.Store(f.WallClock)
+				}
+			}
+		}
+	}()
+
+	notify := log.FlushNotify()
+	defer log.FlushUnnotify(notify)
+	buf := make([]byte, s.opts.BatchBytes)
+	off := int64(from - 1)
+	heartbeat := time.NewTimer(s.opts.HeartbeatEvery)
+	defer heartbeat.Stop()
+	for {
+		n, err := log.ReadDurable(buf, off)
+		if err != nil {
+			return err
+		}
+		if n > 0 && n < s.opts.MinBatchBytes && s.opts.BatchLinger > 0 {
+			// Coalesce: trade up to BatchLinger of lag for fewer, larger
+			// batches (and proportionally fewer cross-goroutine wakeups).
+			time.Sleep(s.opts.BatchLinger)
+			if n2, err := log.ReadDurable(buf[n:], off+int64(n)); err == nil && n2 > 0 {
+				n += n2
+			}
+		}
+		if n > 0 {
+			batch := &Frame{
+				Kind:      KindBatch,
+				From:      wal.LSN(off + 1),
+				Durable:   log.FlushedLSN(),
+				WallClock: s.db.Now().UnixNano(),
+				Payload:   append([]byte(nil), buf[:n]...),
+			}
+			if err := conn.Send(batch); err != nil {
+				return err
+			}
+			off += int64(n)
+			sub.shipped.Store(uint64(off))
+			sub.bytesShipped.Add(int64(n))
+			sub.batchesSent.Add(1)
+			continue // drain: more may already be durable
+		}
+		if !heartbeat.Stop() {
+			select {
+			case <-heartbeat.C:
+			default:
+			}
+		}
+		heartbeat.Reset(s.opts.HeartbeatEvery)
+		select {
+		case <-notify:
+		case <-heartbeat.C:
+			hb := &Frame{Kind: KindHeartbeat, Durable: log.FlushedLSN(), WallClock: s.db.Now().UnixNano()}
+			if err := conn.Send(hb); err != nil {
+				return err
+			}
+		case err := <-recvErr:
+			if errors.Is(err, ErrClosed) {
+				return nil
+			}
+			return err
+		case <-s.stop:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package repl
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// tcpConn adapts a net.Conn to the replication Conn interface with the
+// shared wire codec. Sends are serialized (the shipper's stream loop and
+// status replies may interleave); receives have a single reader by
+// protocol.
+type tcpConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+// NewNetConn wraps an established net.Conn (or anything satisfying it,
+// e.g. net.Pipe ends) as a replication Conn.
+func NewNetConn(c net.Conn) Conn {
+	return &tcpConn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+func (t *tcpConn) Send(f *Frame) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	if err := WriteFrame(t.bw, f); err != nil {
+		return err
+	}
+	return t.bw.Flush()
+}
+
+func (t *tcpConn) Recv() (*Frame, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	return ReadFrame(t.br)
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+// ListenAndServe accepts replica connections on addr and serves each with
+// the shipper until the listener fails or the shipper is closed. It
+// returns the bound listener so callers can report the address and stop
+// accepting.
+func ListenAndServe(addr string, s *Shipper) (net.Listener, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _ = s.Serve(NewNetConn(c)) }()
+		}
+	}()
+	return lis, nil
+}
+
+// Dial connects to a shipper at addr.
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewNetConn(c), nil
+}

@@ -1,0 +1,319 @@
+package repl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/vclock"
+	"repro/internal/wal"
+)
+
+// fakePrimary hand-drives a replica session: it owns the primary end of a
+// pipe and sends exactly the frames a test scripts, so batches can be cut
+// mid-record or corrupted at will.
+type fakePrimary struct {
+	t    *testing.T
+	db   *engine.DB
+	raw  []byte // the primary's full durable log image
+	conn Conn
+}
+
+func newFakePrimary(t *testing.T, db *engine.DB) *fakePrimary {
+	t.Helper()
+	size := db.Log().Size()
+	raw := make([]byte, size)
+	if n, err := db.Log().ReadDurable(raw, 0); err != nil || int64(n) != size {
+		t.Fatalf("read primary log: n=%d err=%v", n, err)
+	}
+	return &fakePrimary{t: t, db: db, raw: raw}
+}
+
+// accept waits for the replica's subscribe and replies with hello.
+func (f *fakePrimary) accept(conn Conn) wal.LSN {
+	f.t.Helper()
+	f.conn = conn
+	req, err := conn.Recv()
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	if req.Kind != KindSubscribe {
+		f.t.Fatalf("expected subscribe, got %v", req.Kind)
+	}
+	err = conn.Send(&Frame{
+		Kind:    KindHello,
+		From:    req.From,
+		Durable: wal.LSN(len(f.raw)),
+		Payload: encodeBootInfo(bootInfo{
+			Roots:     f.db.Roots(),
+			CreatedAt: f.db.CreatedAt().UnixNano(),
+			TruncLSN:  1,
+		}),
+	})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return req.From
+}
+
+// sendRange ships raw log bytes [from, to) as one batch (LSN = offset+1).
+func (f *fakePrimary) sendRange(from, to int) {
+	f.t.Helper()
+	err := f.conn.Send(&Frame{
+		Kind:    KindBatch,
+		From:    wal.LSN(from + 1),
+		Durable: wal.LSN(len(f.raw)),
+		Payload: append([]byte(nil), f.raw[from:to]...),
+	})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+// drainAcks consumes replica acks so pipe buffers never fill.
+func (f *fakePrimary) drainAcks() {
+	conn := f.conn // capture: accept() rebinds f.conn for later sessions
+	go func() {
+		for {
+			if _, err := conn.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// buildSourceDB creates a primary with some committed history.
+func buildSourceDB(t *testing.T, clock *vclock.Clock) *engine.DB {
+	t.Helper()
+	db, err := engine.Open(t.TempDir(), engine.Options{Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	mustExec(t, db, func(tx *engine.Txn) error { return tx.CreateTable(testSchema("torn")) })
+	for b := 0; b < 4; b++ {
+		mustExec(t, db, func(tx *engine.Txn) error {
+			for i := 0; i < 50; i++ {
+				if err := tx.Insert("torn", testRow(b*50+i, "v", i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	return db
+}
+
+// recordBoundary returns a frame boundary offset near the middle of the
+// raw log image (scanning frames from 0).
+func recordBoundary(t *testing.T, raw []byte) int {
+	t.Helper()
+	off := 0
+	for off < len(raw)/2 {
+		_, size, ok, err := wal.NextFrame(raw[off:])
+		if err != nil || !ok {
+			t.Fatalf("bad frame at %d: ok=%v err=%v", off, ok, err)
+		}
+		off += size
+	}
+	return off
+}
+
+// TestReplicaTornBatchResumes: a session that dies after delivering a batch
+// cut mid-record must leave the replica at the last valid CRC boundary —
+// nothing torn in its local log — and a new session resuming from that
+// boundary completes the history.
+func TestReplicaTornBatchResumes(t *testing.T) {
+	clock := vclock.New(time.Time{})
+	prim := buildSourceDB(t, clock)
+	fp := newFakePrimary(t, prim)
+	boundary := recordBoundary(t, fp.raw)
+	cut := boundary + 9 // mid-record: past the next frame's header
+
+	rep, err := OpenReplica(t.TempDir(), ReplicaOptions{Engine: engine.Options{Now: clock.Now}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	// Session 1: ship a batch that ends mid-record, then die.
+	pc, rc := Pipe()
+	done := make(chan error, 1)
+	go func() { done <- rep.Run(rc) }()
+	if from := fp.accept(pc); from != 1 {
+		t.Fatalf("fresh replica subscribed at %v, want 1", from)
+	}
+	fp.drainAcks()
+	fp.sendRange(0, cut)
+	// Give the replica a moment to ingest, then kill the session.
+	deadline := time.Now().Add(5 * time.Second)
+	for rep.AppliedLSN() < wal.LSN(boundary) {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at %v, want %v", rep.AppliedLSN(), boundary)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	pc.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("torn session should end cleanly, got %v", err)
+	}
+	if got := rep.AppliedLSN(); got != wal.LSN(boundary) {
+		t.Fatalf("applied %v after torn batch, want the valid boundary %v", got, boundary)
+	}
+	if got := rep.DB().Log().Size(); got != int64(boundary) {
+		t.Fatalf("local log holds %d bytes, want only the %d complete ones", got, boundary)
+	}
+
+	// Session 2: the replica must resume at the boundary and finish.
+	pc2, rc2 := Pipe()
+	done2 := make(chan error, 1)
+	go func() { done2 <- rep.Run(rc2) }()
+	if from := fp.accept(pc2); from != wal.LSN(boundary)+1 {
+		t.Fatalf("resumed subscription at %v, want %v", from, wal.LSN(boundary)+1)
+	}
+	fp.drainAcks()
+	fp.sendRange(boundary, len(fp.raw))
+	deadline = time.Now().Add(5 * time.Second)
+	for rep.AppliedLSN() < wal.LSN(len(fp.raw)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at %v, want %v", rep.AppliedLSN(), len(fp.raw))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	pc2.Close()
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := rep.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, func(tx *engine.Txn) error {
+		n, err := tx.CountRows("torn", nil, nil)
+		if err != nil {
+			return err
+		}
+		if n != 200 {
+			return fmt.Errorf("replica has %d rows after torn resume, want 200", n)
+		}
+		return nil
+	})
+	db.Close()
+}
+
+// TestReplicaRejectsCorruptBatch: a bit flip inside a shipped record fails
+// the CRC and aborts the session before anything reaches the local log.
+func TestReplicaRejectsCorruptBatch(t *testing.T) {
+	clock := vclock.New(time.Time{})
+	prim := buildSourceDB(t, clock)
+	fp := newFakePrimary(t, prim)
+
+	rep, err := OpenReplica(t.TempDir(), ReplicaOptions{Engine: engine.Options{Now: clock.Now}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	pc, rc := Pipe()
+	done := make(chan error, 1)
+	go func() { done <- rep.Run(rc) }()
+	fp.accept(pc)
+	fp.drainAcks()
+
+	bad := append([]byte(nil), fp.raw...)
+	bad[len(bad)/2] ^= 0x55
+	if err := fp.conn.Send(&Frame{Kind: KindBatch, From: 1, Durable: wal.LSN(len(bad)), Payload: bad}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("corrupt batch accepted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replica never rejected the corrupt batch")
+	}
+	pc.Close()
+}
+
+// TestReplicaCrashTornLocalLogRecovers: a replica that crashes mid-ingest
+// (its local log file torn mid-record) reopens, truncates to the valid
+// boundary, and resumes from there.
+func TestReplicaCrashTornLocalLogRecovers(t *testing.T) {
+	clock := vclock.New(time.Time{})
+	prim := buildSourceDB(t, clock)
+	fp := newFakePrimary(t, prim)
+	boundary := recordBoundary(t, fp.raw)
+
+	dir := t.TempDir()
+	rep, err := OpenReplica(dir, ReplicaOptions{Engine: engine.Options{Now: clock.Now}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, rc := Pipe()
+	done := make(chan error, 1)
+	go func() { done <- rep.Run(rc) }()
+	fp.accept(pc)
+	fp.drainAcks()
+	fp.sendRange(0, boundary)
+	deadline := time.Now().Add(5 * time.Second)
+	for rep.AppliedLSN() < wal.LSN(boundary) {
+		if time.Now().After(deadline) {
+			t.Fatal("replica never ingested")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	pc.Close()
+	<-done
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn local write: the crashed process had appended a
+	// partial record past the boundary.
+	lf, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lf.Write(fp.raw[boundary : boundary+11]); err != nil {
+		t.Fatal(err)
+	}
+	lf.Close()
+
+	rep2, err := OpenReplica(dir, ReplicaOptions{Engine: engine.Options{Now: clock.Now}})
+	if err != nil {
+		t.Fatalf("reopen with torn local log: %v", err)
+	}
+	defer rep2.Close()
+	if got := rep2.AppliedLSN(); got != wal.LSN(boundary) {
+		t.Fatalf("applied %v after torn local log, want %v", got, boundary)
+	}
+	if got := rep2.DB().Log().Size(); got != int64(boundary) {
+		t.Fatalf("local log %d bytes after reopen, want truncated to %d", got, boundary)
+	}
+
+	pc2, rc2 := Pipe()
+	done2 := make(chan error, 1)
+	go func() { done2 <- rep2.Run(rc2) }()
+	if from := fp.accept(pc2); from != wal.LSN(boundary)+1 {
+		t.Fatalf("resume at %v, want %v", from, wal.LSN(boundary)+1)
+	}
+	fp.drainAcks()
+	fp.sendRange(boundary, len(fp.raw))
+	deadline = time.Now().Add(5 * time.Second)
+	for rep2.AppliedLSN() < wal.LSN(len(fp.raw)) {
+		if time.Now().After(deadline) {
+			t.Fatal("replica never finished after torn-log recovery")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	pc2.Close()
+	<-done2
+}

@@ -259,12 +259,25 @@ func (p *Pool) fetch(id page.ID, excl, read bool) (*Handle, error) {
 		// and drop the shard lock for the I/O. Concurrent fetches of other
 		// pages in the shard proceed during the read; concurrent fetches of
 		// this page find the claimed frame and block on its latch until the
-		// load completes. (Dirty-victim writeback still happens under the
-		// shard lock inside evictLocked; only the fill read moves out.)
+		// load completes. Dirty-victim writeback also happens outside the
+		// shard lock (see evictLocked), so no fetch I/O of any kind stalls
+		// same-shard hits.
 		f, err := s.evictLocked()
 		if err != nil {
 			s.mu.Unlock()
 			return nil, err
+		}
+		if g, ok := s.table[id]; ok {
+			// A racing miss published this page while a dirty-victim
+			// writeback had the shard lock released. Join the racer's frame;
+			// our victim stays free (unmapped, unpinned) for the next miss.
+			g.pins.Add(1)
+			g.used.Store(true)
+			s.mu.Unlock()
+			if h, ok := latchValid(g, id, excl); ok {
+				return h, nil
+			}
+			continue
 		}
 		f.id = id
 		f.dirty.Store(false)
@@ -336,11 +349,20 @@ func zero(b []byte) {
 	}
 }
 
-// evictLocked finds a reusable frame, writing it back if dirty.
-// Called with s.mu held exclusively; returns with it still held.
+// evictLocked finds a reusable frame. Called with s.mu held exclusively;
+// returns with it still held. Clean victims are unmapped and returned
+// without ever releasing the lock. A dirty victim's writeback — a WAL
+// force plus a page write, the slowest thing a fetch can do — happens
+// OUTSIDE the shard lock: the victim is claimed with a pin (pins 0→1 under
+// s.mu excludes rival evictors) and exclusively latched (excludes writers
+// and FlushAll, whose writeback holds the latch shared), the lock is
+// dropped for the I/O, and on reacquisition the claim is revalidated — if
+// a fetch found the page meanwhile (pins > 1) or a writer re-dirtied it,
+// the eviction aborts and the sweep continues; eviction must never evict a
+// page that just proved hot.
 func (s *shard) evictLocked() (*frame, error) {
 	n := len(s.frames)
-	for sweep := 0; sweep < 2*n+1; sweep++ {
+	for sweep := 0; sweep < 4*n+2; sweep++ {
 		f := s.frames[s.hand]
 		s.hand = (s.hand + 1) % n
 		if f.pins.Load() > 0 {
@@ -350,23 +372,47 @@ func (s *shard) evictLocked() (*frame, error) {
 			f.used.Store(false)
 			continue
 		}
-		if f.id != page.InvalidID {
-			if f.dirty.Load() {
-				if err := s.writeBack(f); err != nil {
-					return nil, err
-				}
-			}
+		if f.id == page.InvalidID {
+			return f, nil
+		}
+		if !f.dirty.Load() {
 			delete(s.table, f.id)
 			f.id = page.InvalidID
+			return f, nil
 		}
-		return f, nil
+		// Dirty victim: claim, write back outside the lock, revalidate.
+		f.pins.Add(1)
+		s.mu.Unlock()
+		f.latch.Lock()
+		err := s.writeBack(f)
+		f.latch.Unlock()
+		s.mu.Lock()
+		if err != nil {
+			unpin(f)
+			return nil, err
+		}
+		if f.pins.Load() == 1 && !f.dirty.Load() && !f.used.Load() && f.id != page.InvalidID {
+			// Still cold and clean: ours. Unpin (the caller re-pins when it
+			// claims the frame; nothing can reach it once unmapped — the
+			// table no longer holds it and rival evictors run under s.mu).
+			unpin(f)
+			delete(s.table, f.id)
+			f.id = page.InvalidID
+			return f, nil
+		}
+		// The page got hot (pinned, or fetched and released: used flipped
+		// back on) or re-dirtied while we flushed: leave it cached — now
+		// clean, it is a cheap claim for a later sweep if it cools again.
+		unpin(f)
 	}
 	return nil, ErrNoFrames
 }
 
-// writeBack flushes one dirty frame, honoring the WAL rule. Caller holds
-// s.mu exclusively and guarantees either pins == 0 (no latch holder
-// exists) or a shared latch on the frame (FlushAll).
+// writeBack flushes one dirty frame, honoring the WAL rule. Callers must
+// exclude concurrent writers and other writebacks of the same frame: the
+// eviction path holds the frame latch exclusively (no shard lock); FlushAll
+// holds the latch shared plus s.mu (writebacks of a frame pinned by
+// FlushAll cannot race with eviction's, which only claims pin-free frames).
 func (s *shard) writeBack(f *frame) error {
 	if s.cfg.FlushLog != nil {
 		if err := s.cfg.FlushLog(f.pg.PageLSN()); err != nil {

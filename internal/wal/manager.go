@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/storage/media"
 )
 
@@ -82,6 +83,18 @@ type Manager struct {
 	// Flushes counts physical log writes. Commits / Flushes is the group
 	// commit batching factor.
 	Flushes atomic.Int64
+
+	// listeners are notified (non-blocking) every time a flush completes and
+	// the durable LSN advances — the log-shipping hook: a shipper goroutine
+	// parks on its channel and reads the newly durable bytes, so shipping
+	// batches ride the group-commit flush boundaries instead of polling.
+	// Guarded by mu.
+	listeners []chan struct{}
+
+	// clock supplies wall-clock time for machinery that needs a reading
+	// outside any record (replication heartbeats). Injected so lag tests are
+	// deterministic; defaults to the system clock.
+	clock clock.Clock
 }
 
 // DefaultGroupCommitMaxBytes is the pending-bytes threshold past which a
@@ -106,6 +119,7 @@ func Open(path string, dev *media.Device) (*Manager, error) {
 		tailAt:  LSN(st.Size()) + 1,
 		gcBytes: DefaultGroupCommitMaxBytes,
 		cache:   newBlockCache(256), // 8 MiB of log cache
+		clock:   clock.Real(),
 	}
 	m.flushDone = sync.NewCond(&m.mu)
 	m.flushed.Store(uint64(m.next - 1))
@@ -122,6 +136,18 @@ func (m *Manager) SetGroupCommit(delay time.Duration, maxBytes int) {
 		m.gcBytes = maxBytes
 	}
 }
+
+// SetClock injects the manager's wall-clock source (replication heartbeat
+// stamps). Call before the manager is shared between goroutines; nil keeps
+// the system clock.
+func (m *Manager) SetClock(c clock.Clock) {
+	if c != nil {
+		m.clock = c
+	}
+}
+
+// Now returns the manager's wall-clock reading.
+func (m *Manager) Now() time.Time { return m.clock.Now() }
 
 // SetCacheBlocks resizes the random-read block cache to n blocks of
 // readBlockSize (n <= 0 keeps the current size). Call before the manager is
@@ -293,6 +319,9 @@ func (m *Manager) force(lsn LSN, linger bool) error {
 		m.flushActive = false
 		m.flushGen++
 		m.flushDone.Broadcast()
+		if err == nil && len(buf) > 0 {
+			m.notifyDurableLocked()
+		}
 		m.mu.Unlock()
 		if err != nil {
 			return err
@@ -301,6 +330,141 @@ func (m *Manager) force(lsn LSN, linger bool) error {
 			m.dev.ChargeWrite(int64(len(buf)), true)
 		}
 	}
+}
+
+// FlushNotify registers and returns a channel that receives a (coalesced,
+// non-blocking) signal every time a flush completes and the durable LSN
+// advances. A log shipper parks on it and reads the newly durable bytes
+// with ReadDurable — shipping batches ride the group-commit flush
+// boundaries, never polling and never touching the random-read block cache.
+func (m *Manager) FlushNotify() <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	m.mu.Lock()
+	m.listeners = append(m.listeners, ch)
+	m.mu.Unlock()
+	return ch
+}
+
+// FlushUnnotify deregisters a channel returned by FlushNotify.
+func (m *Manager) FlushUnnotify(ch <-chan struct{}) {
+	m.mu.Lock()
+	for i, l := range m.listeners {
+		if l == ch {
+			m.listeners = append(m.listeners[:i], m.listeners[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+}
+
+// notifyDurableLocked signals every registered listener; sends never block
+// (the 1-buffered channels coalesce bursts). Caller holds mu.
+func (m *Manager) notifyDurableLocked() {
+	for _, ch := range m.listeners {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ReadDurable fills buf with raw log bytes starting at byte offset off,
+// serving only durable bytes (at or below the flushed LSN) straight from
+// the log file — the log shipper's tail-stream read path. It deliberately
+// bypasses the random-read block cache: shipping reads the still-warm tail
+// of the log exactly once, and must not evict the hot chain-walk window
+// that as-of queries depend on. Returns the number of bytes served (0 at
+// the durable end) — short reads are normal when less than len(buf) is
+// durable.
+func (m *Manager) ReadDurable(buf []byte, off int64) (int, error) {
+	durable := int64(m.flushed.Load())
+	if off >= durable {
+		return 0, nil
+	}
+	if off+int64(len(buf)) > durable {
+		buf = buf[:durable-off]
+	}
+	n, err := m.f.ReadAt(buf, off)
+	if err != nil && !(errors.Is(err, io.EOF) && n == len(buf)) {
+		return n, fmt.Errorf("wal: durable read at %d: %w", off, err)
+	}
+	return len(buf), nil
+}
+
+// AppendRaw appends pre-framed record bytes — a shipped batch that already
+// ends on a record boundary — at the current end of the log and makes them
+// durable immediately. This is the replica-side ingestion path: the replica
+// log is a byte-exact copy of the primary's, so LSNs (byte offsets) line up
+// and every chain walk works unchanged. The manager must have no concurrent
+// appenders (a standby's log has a single writer: the apply loop).
+func (m *Manager) AppendRaw(frames []byte) (LSN, error) {
+	if len(frames) == 0 {
+		return m.NextLSN() - 1, nil
+	}
+	m.mu.Lock()
+	if m.ioErr != nil {
+		err := m.ioErr
+		m.mu.Unlock()
+		return NilLSN, err
+	}
+	if len(m.tail) > 0 || m.flushActive {
+		m.mu.Unlock()
+		return NilLSN, errors.New("wal: AppendRaw on a log with buffered appends")
+	}
+	at := m.next
+	m.mu.Unlock()
+
+	if _, err := m.f.WriteAt(frames, int64(at-1)); err != nil {
+		m.mu.Lock()
+		m.ioErr = fmt.Errorf("wal: raw append: %w", err)
+		m.mu.Unlock()
+		return NilLSN, m.ioErr
+	}
+	m.Flushes.Add(1)
+
+	m.mu.Lock()
+	m.next = at + LSN(len(frames))
+	m.tailAt = m.next
+	m.flushed.Store(uint64(m.next - 1))
+	m.notifyDurableLocked()
+	m.mu.Unlock()
+	m.dev.ChargeWrite(int64(len(frames)), true)
+	return m.next - 1, nil
+}
+
+// Rewind discards the (non-durable or torn) log past end: the file is
+// truncated so the next appended record receives LSN end+1. Used by
+// recovery when a crash tore the final record — the valid prefix ends at
+// end — and by a replica resynchronizing its local log to a re-shipped
+// boundary. The manager must be quiescent (no concurrent appends/flushes).
+func (m *Manager) Rewind(end LSN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.flushActive || len(m.tail) > 0 {
+		return errors.New("wal: rewind with buffered appends")
+	}
+	if end+1 > m.next {
+		return fmt.Errorf("wal: rewind to %v past end %v", end, m.next-1)
+	}
+	if err := m.f.Truncate(int64(end)); err != nil {
+		return fmt.Errorf("wal: rewind truncate: %w", err)
+	}
+	m.next = end + 1
+	m.tailAt = m.next
+	m.flushed.Store(uint64(end))
+	m.cache.clear() // cached blocks past the cut are stale
+	return nil
+}
+
+// ObserveCommit feeds one commit record's (wallclock, LSN) pair into the
+// sparse time→LSN index, honoring the sampling cadence. The replica apply
+// loop calls this while ingesting shipped records — reseeding the index the
+// primary built in Append — so ResolveTime on a standby narrows its scans
+// exactly like on the primary.
+func (m *Manager) ObserveCommit(wallClock int64, lsn LSN) {
+	m.mu.Lock()
+	m.maybeSampleLocked(wallClock, lsn)
+	m.mu.Unlock()
 }
 
 // Truncate discards records below lsn (the retention boundary, §4.3). The

@@ -42,6 +42,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"time"
@@ -343,6 +344,40 @@ func frame(dst []byte, r *Record) []byte {
 	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(body))
 	return dst
 }
+
+// ErrFrameCorrupt reports a frame whose header is implausible or whose body
+// fails its CRC — a shipped batch (or a log file) corrupted in transit, as
+// opposed to merely cut short.
+var ErrFrameCorrupt = errors.New("wal: corrupt frame")
+
+// NextFrame examines the head of a raw frame stream (the wire format of a
+// shipped batch, identical to the on-disk log). It returns the first
+// frame's body and total framed size when a complete frame is present;
+// ok=false when the buffer ends mid-frame (the caller waits for more bytes,
+// or — at a torn tail — truncates to this boundary and resumes);
+// ErrFrameCorrupt when the bytes cannot be a frame prefix at all.
+func NextFrame(buf []byte) (body []byte, size int, ok bool, err error) {
+	if len(buf) < frameHeader {
+		return nil, 0, false, nil
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(buf[:4]))
+	wantCRC := binary.LittleEndian.Uint32(buf[4:])
+	if bodyLen == 0 || bodyLen > 64<<20 {
+		return nil, 0, false, fmt.Errorf("%w: implausible length %d", ErrFrameCorrupt, bodyLen)
+	}
+	if len(buf) < frameHeader+bodyLen {
+		return nil, 0, false, nil
+	}
+	body = buf[frameHeader : frameHeader+bodyLen]
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, 0, false, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
+	}
+	return body, frameHeader + bodyLen, true, nil
+}
+
+// DecodeBody parses a frame body (as returned by NextFrame) into a fresh
+// Record. The record's byte slices alias src.
+func DecodeBody(src []byte) (*Record, error) { return unmarshal(src) }
 
 // ATTEntry is one active transaction in a checkpoint's transaction table.
 type ATTEntry struct {
