@@ -97,6 +97,19 @@ type Table = catalog.Table
 // LSN is a log sequence number.
 type LSN = wal.LSN
 
+// SyncPolicy selects log-force durability (Options.SyncPolicy): SyncNone
+// keeps the buffered-write crash model, SyncData makes every group-commit
+// flush an fdatasync-class log force. See also Options.LogSegmentBytes
+// (WAL segment capacity) and Options.LogArchiveDir (retention archive for
+// deep restores and replica reseeds).
+type SyncPolicy = wal.SyncPolicy
+
+// Sync policies for Options.SyncPolicy.
+const (
+	SyncNone = wal.SyncNone
+	SyncData = wal.SyncData
+)
+
 // Open opens (creating if needed) the database in dir, running crash
 // recovery when the previous process died uncleanly.
 func Open(dir string, opts Options) (*DB, error) {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/storage/media"
 	"repro/internal/tpcc"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -40,8 +41,16 @@ func main() {
 		gcOff      = flag.Bool("gcoff", false, "run ONLY the serial (group-commit-disabled) arm of -fig commit")
 		gcDelay    = flag.Duration("gcdelay", 0, "group-commit linger delay (0 = yield-based batching)")
 		gcBytes    = flag.Int("gcbytes", 0, "group-commit max pending bytes before an early force (0 = default)")
+
+		// Log durability: every engine any figure opens uses this policy.
+		syncMode = flag.String("sync", "none", "log force durability: none | fdatasync (the arm where the gcdelay linger amortizes a real log force)")
 	)
 	flag.Parse()
+	syncPolicy, err := wal.ParseSyncPolicy(*syncMode)
+	if err != nil {
+		fatal(err)
+	}
+	exp.LogSync = syncPolicy
 
 	dir := *workdir
 	if dir == "" {

@@ -16,6 +16,10 @@
 //	asofctl -db DIR history RFC3339 RFC3339   list transactions committed
 //	                                          in the window
 //	asofctl -db DIR undo-txn LSN [force]      undo one committed transaction
+//	asofctl -db DIR log-ls [ARCHIVEDIR]       list WAL segments (base LSN,
+//	                                          sealed/active, retention
+//	                                          horizon; archived set too when
+//	                                          ARCHIVEDIR is given)
 //
 // Replication (log-shipped warm standbys, serving as-of queries):
 //
@@ -36,10 +40,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	asofdb "repro"
 	"repro/internal/repl"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -80,6 +86,18 @@ func main() {
 	case "repl-status":
 		need(args, 2)
 		replStatus(args[1])
+		return
+	case "log-ls":
+		// Offline inspection: reads segment headers only, never opens the
+		// engine (which would run recovery and append to the log).
+		if *dbdir == "" {
+			fatal(fmt.Errorf("log-ls requires -db"))
+		}
+		archiveDir := ""
+		if len(args) > 1 {
+			archiveDir = args[1]
+		}
+		logLs(*dbdir, archiveDir)
 		return
 	}
 
@@ -216,9 +234,12 @@ func servePrimary(dir, addr string) {
 	fmt.Println("primary shipping on", lis.Addr())
 	for {
 		time.Sleep(time.Second)
+		if err := db.BackgroundCheckpointErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "asofctl: background checkpoint/retention:", err)
+		}
 		for _, st := range ship.Status() {
-			fmt.Printf("replica %d: shipped=%d applied=%d durable=%d lag=%dB/%.1fs last-commit=%s\n",
-				st.ID, st.Shipped, st.Applied, st.ReplicaDurable, st.LagBytes, st.LagSeconds,
+			fmt.Printf("replica %d: shipped=%d applied=%d durable=%d retained=%d lag=%dB/%.1fs last-commit=%s\n",
+				st.ID, st.Shipped, st.Applied, st.ReplicaDurable, st.Retained, st.LagBytes, st.LagSeconds,
 				fmtTime(st.LastCommitAt))
 		}
 	}
@@ -310,13 +331,47 @@ func replStatus(addr string) {
 		fmt.Println("no replicas connected")
 		return
 	}
-	fmt.Printf("%-3s %-12s %-12s %-12s %-12s %-10s %-10s %s\n",
-		"id", "primary", "shipped", "applied", "durable", "lag-bytes", "lag-secs", "last-commit")
+	fmt.Printf("%-3s %-12s %-12s %-12s %-12s %-12s %-10s %-10s %s\n",
+		"id", "primary", "shipped", "applied", "durable", "retained", "lag-bytes", "lag-secs", "last-commit")
 	for _, st := range sts {
-		fmt.Printf("%-3d %-12d %-12d %-12d %-12d %-10d %-10.1f %s\n",
+		fmt.Printf("%-3d %-12d %-12d %-12d %-12d %-12d %-10d %-10.1f %s\n",
 			st.ID, st.PrimaryDurable, st.Shipped, st.Applied, st.ReplicaDurable,
-			st.LagBytes, st.LagSeconds, fmtTime(st.LastCommitAt))
+			st.Retained, st.LagBytes, st.LagSeconds, fmtTime(st.LastCommitAt))
 	}
+}
+
+// logLs lists the database's live WAL segments (and, when an archive
+// directory is given, the archived set) with the retention horizon.
+func logLs(dbdir, archiveDir string) {
+	printSegs := func(title, state string, segs []wal.SegmentInfo, markActive bool) {
+		fmt.Printf("%s (%d segments)\n", title, len(segs))
+		fmt.Printf("  %-6s %-14s %-14s %-12s %-8s %s\n", "seq", "base-lsn", "end-lsn", "bytes", "state", "file")
+		for i, s := range segs {
+			st := state
+			if markActive && i == len(segs)-1 {
+				st = "active"
+			}
+			fmt.Printf("  %-6d %-14d %-14d %-12d %-8s %s\n",
+				s.Seq, s.Base, s.End, s.Bytes, st, filepath.Base(s.Path))
+		}
+	}
+	if archiveDir != "" {
+		arch, err := wal.ListSegments(archiveDir)
+		if err != nil {
+			fatal(err)
+		}
+		printSegs("archive", "archived", arch, false)
+	}
+	segs, err := wal.ListSegments(filepath.Join(dbdir, "wal"))
+	if err != nil {
+		fatal(err)
+	}
+	if len(segs) == 0 {
+		fmt.Println("no segments (empty or pre-segmentation database)")
+		return
+	}
+	printSegs("live", "sealed", segs, true)
+	fmt.Printf("retention floor: lsn %d (records below the horizon may only exist in the archive)\n", segs[0].Base)
 }
 
 func fmtTime(t time.Time) string {

@@ -39,7 +39,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	m, err := wal.Open(filepath.Join(*dbdir, "wal.log"), nil)
+	m, err := wal.OpenStore(filepath.Join(*dbdir, "wal"), wal.Config{
+		LegacyFile: filepath.Join(*dbdir, "wal.log"),
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -35,10 +35,30 @@ type Manifest struct {
 	// BackupLSN is the checkpoint-begin LSN the backup is consistent with;
 	// restores replay the log forward from here.
 	BackupLSN wal.LSN
+	// CkptEnd is the LSN of the backup checkpoint's end record, and ATT the
+	// transactions it recorded in flight — what a replica reseeded from this
+	// image needs to resume exact incremental analysis at BackupLSN without
+	// any local history.
+	CkptEnd wal.LSN
+	ATT     []wal.ATTEntry
+	// Segments is the primary's live segment set at backup time: the log
+	// files whose bytes (live then, archived or shipped since) cover
+	// BackupLSN onward. Recorded so operators can verify that archive +
+	// live log still span the image's replay range.
+	Segments []wal.SegmentInfo
 	// Pages is the number of pages in the image.
 	Pages uint32
 	// TakenAt is the engine wall-clock time of the backup.
 	TakenAt time.Time
+}
+
+// LogSource is the log read surface a restore replays from: the live
+// *wal.Manager when the target is within retention, or a *wal.ArchivedLog
+// composing archived segments with the live log when the target (or the
+// backup itself) predates the retention horizon.
+type LogSource interface {
+	Scan(from wal.LSN, fn func(*wal.Record) (bool, error)) error
+	Read(lsn wal.LSN) (*wal.Record, error)
 }
 
 // Full takes a full database backup: a checkpoint followed by a sequential
@@ -79,6 +99,9 @@ func Full(db *engine.DB, path string, dev *media.Device) (Manifest, error) {
 	return Manifest{
 		Path:      path,
 		BackupLSN: data.BeginLSN,
+		CkptEnd:   end,
+		ATT:       data.ATT,
+		Segments:  db.Log().Segments(),
 		Pages:     uint32(next),
 		TakenAt:   db.Now(),
 	}, nil
@@ -105,7 +128,7 @@ const restoreLocalBase = uint32(1) << 28
 // RestoreToTime restores the backup to destPath and rolls it forward to the
 // last transaction committed at or before target, reading the log from
 // srcLog. dev charges the restored file's I/O.
-func RestoreToTime(m Manifest, srcLog *wal.Manager, target time.Time, destPath string, dev *media.Device) (*Restored, error) {
+func RestoreToTime(m Manifest, srcLog LogSource, target time.Time, destPath string, dev *media.Device) (*Restored, error) {
 	split, err := splitForTime(srcLog, m.BackupLSN, target)
 	if err != nil {
 		return nil, err
@@ -115,7 +138,7 @@ func RestoreToTime(m Manifest, srcLog *wal.Manager, target time.Time, destPath s
 
 // splitForTime finds the newest commit at or before target, scanning
 // forward from the backup LSN (the restore already pays for this scan).
-func splitForTime(srcLog *wal.Manager, from wal.LSN, target time.Time) (wal.LSN, error) {
+func splitForTime(srcLog LogSource, from wal.LSN, target time.Time) (wal.LSN, error) {
 	targetNS := target.UnixNano()
 	split := from
 	err := srcLog.Scan(from, func(rec *wal.Record) (bool, error) {
@@ -132,7 +155,7 @@ func splitForTime(srcLog *wal.Manager, from wal.LSN, target time.Time) (wal.LSN,
 }
 
 // RestoreToLSN restores the backup and replays the log up to split.
-func RestoreToLSN(m Manifest, srcLog *wal.Manager, split wal.LSN, destPath string, dev *media.Device) (*Restored, error) {
+func RestoreToLSN(m Manifest, srcLog LogSource, split wal.LSN, destPath string, dev *media.Device) (*Restored, error) {
 	if split < m.BackupLSN {
 		return nil, fmt.Errorf("backup: target %v predates backup LSN %v", split, m.BackupLSN)
 	}
@@ -246,7 +269,7 @@ func (r *Restored) redoOne(rec *wal.Record) error {
 	return nil
 }
 
-func (r *Restored) undoTxn(srcLog *wal.Manager, e wal.ATTEntry) error {
+func (r *Restored) undoTxn(srcLog LogSource, e wal.ATTEntry) error {
 	cur := e.LastLSN
 	for cur != wal.NilLSN {
 		rec, err := srcLog.Read(cur)

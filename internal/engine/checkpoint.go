@@ -69,7 +69,13 @@ func (db *DB) Checkpoint() error {
 		return err
 	}
 	db.CheckpointCount.Add(1)
-	db.truncateForRetention()
+	// Retention now performs real file I/O (segment unlink / archive
+	// rename / syncs); a persistent failure — e.g. an archive directory on
+	// another filesystem, where rename returns EXDEV — must surface, or
+	// the log would grow without bound with zero diagnostics.
+	if err := db.truncateForRetention(); err != nil {
+		return fmt.Errorf("engine: retention: %w", err)
+	}
 	return nil
 }
 
@@ -86,33 +92,55 @@ func (db *DB) maybeAutoCheckpoint() {
 	db.mu.Unlock()
 	if due {
 		// Best effort; concurrent checkpoints are harmless but wasteful,
-		// so tolerate the small race on lastCkptAt.
-		_ = db.Checkpoint()
+		// so tolerate the small race on lastCkptAt. Failures (a full disk,
+		// an unusable archive directory) are remembered for
+		// BackgroundCheckpointErr rather than silently dropped — a
+		// persistent retention failure otherwise grows the log without
+		// bound with zero diagnostics.
+		db.bgCkptErr.Store(ckptErrBox{db.Checkpoint()})
 	}
+}
+
+// ckptErrBox wraps bgCkptErr values in one concrete type: atomic.Value
+// panics if successive Stores carry different dynamic types, which bare
+// errors (nil vs *fmt.wrapError) would.
+type ckptErrBox struct{ err error }
+
+// BackgroundCheckpointErr reports the most recent auto-checkpoint failure,
+// or nil once an auto checkpoint has succeeded again. Operational surfaces
+// (asofctl serve) poll it; explicit Checkpoint calls return their errors
+// directly.
+func (db *DB) BackgroundCheckpointErr() error {
+	if v, ok := db.bgCkptErr.Load().(ckptErrBox); ok {
+		return v.err
+	}
+	return nil
 }
 
 // truncateForRetention discards log before the newest checkpoint that is
 // older than the retention period (§4.3): everything needed to rewind any
 // page to any time within the retention window is kept.
-func (db *DB) truncateForRetention() {
+func (db *DB) truncateForRetention() error {
 	db.mu.Lock()
 	retention := db.opts.Retention
 	cur := db.boot.lastCkptEnd
 	db.mu.Unlock()
 	if retention <= 0 {
-		return
+		return nil
 	}
 	horizon := db.opts.Now().Add(-retention).UnixNano()
 	// Walk the checkpoint chain backwards to the newest checkpoint wholly
-	// before the horizon.
+	// before the horizon. Walk errors are expected ends of the chain (the
+	// records below an earlier truncation are gone) and mean "nothing to
+	// cut"; only the truncation itself may fail loudly.
 	for cur != wal.NilLSN {
 		rec, err := db.log.Read(cur)
 		if err != nil {
-			return
+			return nil
 		}
 		data, err := wal.DecodeCheckpoint(rec.Extra)
 		if err != nil {
-			return
+			return nil
 		}
 		if rec.WallClock <= horizon {
 			// Do not truncate past transactions active at that checkpoint.
@@ -122,13 +150,16 @@ func (db *DB) truncateForRetention() {
 					cut = e.BeginLSN
 				}
 			}
-			_ = db.log.Truncate(cut)
+			if err := db.log.Truncate(cut); err != nil {
+				return err
+			}
 			db.pruneCkptIndex(cut)
 			db.pruneATTMarks(cut)
-			return
+			return nil
 		}
 		cur = data.PrevEnd
 	}
+	return nil
 }
 
 // pruneCkptIndex drops index entries whose records fell below the

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/clock"
+	"repro/internal/fsutil"
 	"repro/internal/storage/buffer"
 	"repro/internal/storage/disk"
 	"repro/internal/storage/media"
@@ -69,6 +71,24 @@ type Options struct {
 	// after that much log has been generated since the last one
 	// (approximating the paper's target recovery interval).
 	CheckpointEvery int64
+
+	// SyncPolicy selects log-force durability: wal.SyncNone (buffered
+	// writes, the seed crash model — a process crash loses nothing, a power
+	// failure may lose the tail) or wal.SyncData (an fdatasync-class sync
+	// per group-commit flush, real durability on real devices — the regime
+	// where GroupCommitMaxDelay batching amortizes an expensive log force).
+	// Checkpoints inherit the policy end to end: data.db is synced and the
+	// boot metadata is replaced via atomic rename+fsync.
+	SyncPolicy wal.SyncPolicy
+	// LogSegmentBytes is the WAL segment-file capacity (default 64 MiB).
+	// Retention drops whole sealed segments, so the segment size bounds
+	// both retention granularity and the unit of archive shipping.
+	LogSegmentBytes int64
+	// LogArchiveDir, when set, receives sealed segments dropped by
+	// retention instead of deleting them; archived segments reseed replicas
+	// whose subscription predates the retention horizon and serve restores
+	// past it.
+	LogArchiveDir string
 
 	// GroupCommitMaxDelay bounds how long a commit may linger waiting for
 	// companion commits to share its log force. 0 (the default) adds no
@@ -168,6 +188,10 @@ type DB struct {
 	nextTxnID atomic.Uint64
 	closed    atomic.Bool
 
+	// bgCkptErr remembers the last auto-checkpoint failure (see
+	// BackgroundCheckpointErr); the commit path cannot return it.
+	bgCkptErr atomic.Value
+
 	// standby marks a database opened by OpenStandby: a log-shipping replica
 	// whose pages are maintained by an external redo loop (internal/repl).
 	// Standbys reject write transactions and never append to their log —
@@ -235,7 +259,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	logm, err := wal.Open(filepath.Join(dir, "wal.log"), opts.LogDevice)
+	logm, err := openLog(dir, opts)
 	if err != nil {
 		data.Close()
 		return nil, err
@@ -286,6 +310,19 @@ func Open(dir string, opts Options) (*DB, error) {
 	return db, nil
 }
 
+// openLog opens the database's segmented log store under dir/wal,
+// migrating a pre-segmentation flat wal.log into the first segment when one
+// is present.
+func openLog(dir string, opts Options) (*wal.Manager, error) {
+	return wal.OpenStore(filepath.Join(dir, "wal"), wal.Config{
+		Dev:          opts.LogDevice,
+		SegmentBytes: opts.LogSegmentBytes,
+		Sync:         opts.SyncPolicy,
+		ArchiveDir:   opts.LogArchiveDir,
+		LegacyFile:   filepath.Join(dir, "wal.log"),
+	})
+}
+
 // OpenStandby opens the database in dir as a log-shipping standby: files
 // are opened (and created empty if absent) but no bootstrap transaction
 // runs, no recovery runs, and the engine is read-only — an external
@@ -302,7 +339,7 @@ func OpenStandby(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	logm, err := wal.Open(filepath.Join(dir, "wal.log"), opts.LogDevice)
+	logm, err := openLog(dir, opts)
 	if err != nil {
 		data.Close()
 		return nil, err
@@ -548,14 +585,20 @@ func (db *DB) Crash() {
 	// Intentionally do not flush or close; reopening uses the same paths.
 }
 
-// --- boot page ---
+// --- boot record (page 0 + boot.meta) ---
 
 const bootPayload = 64 // offset of the boot block within page 0
 
-func (db *DB) writeBoot() error {
-	p := page.New()
-	p.Format(alloc.BootPage, page.TypeBoot, 0)
-	b := p.Bytes()[bootPayload:]
+// bootMetaName is the sidecar boot-metadata file: the same block as page 0,
+// CRC-guarded, replaced via write-temp + fsync + atomic rename. The page-0
+// copy keeps backup images self-describing; the sidecar is what makes the
+// checkpoint pointer crash-atomic — an in-place page write can tear, a
+// rename cannot, so a post-checkpoint crash under SyncData can never read a
+// stale (or half-written) boot record.
+const bootMetaName = "boot.meta"
+
+// encodeBootBlock renders the boot block into b (at least 40 bytes) under mu.
+func (db *DB) encodeBootBlock(b []byte) {
 	copy(b, bootMagic)
 	db.mu.Lock()
 	binary.LittleEndian.PutUint32(b[8:], uint32(db.boot.roots.Tables))
@@ -564,20 +607,10 @@ func (db *DB) writeBoot() error {
 	binary.LittleEndian.PutUint64(b[24:], uint64(db.boot.lastCkptEnd))
 	binary.LittleEndian.PutUint64(b[32:], uint64(db.boot.createdAt))
 	db.mu.Unlock()
-	p.WriteChecksum()
-	return db.data.WritePage(alloc.BootPage, p.Bytes())
 }
 
-func (db *DB) readBoot() error {
-	buf := make([]byte, page.Size)
-	if err := db.data.ReadPage(alloc.BootPage, buf); err != nil {
-		return err
-	}
-	p := page.FromBytes(buf)
-	if err := p.VerifyChecksum(); err != nil {
-		return fmt.Errorf("engine: boot page: %w", err)
-	}
-	b := buf[bootPayload:]
+// decodeBootBlock installs a boot block into db.boot.
+func (db *DB) decodeBootBlock(b []byte) error {
 	if string(b[:8]) != bootMagic {
 		return errors.New("engine: bad boot magic")
 	}
@@ -591,9 +624,54 @@ func (db *DB) readBoot() error {
 	db.boot.createdAt = int64(binary.LittleEndian.Uint64(b[32:]))
 	db.mu.Unlock()
 	if !db.boot.roots.Valid() {
-		return errors.New("engine: boot page has invalid catalog roots")
+		return errors.New("engine: boot record has invalid catalog roots")
 	}
 	return nil
+}
+
+const bootBlockSize = 40
+
+func (db *DB) bootMetaPath() string { return filepath.Join(db.dir, bootMetaName) }
+
+func (db *DB) writeBoot() error {
+	p := page.New()
+	p.Format(alloc.BootPage, page.TypeBoot, 0)
+	db.encodeBootBlock(p.Bytes()[bootPayload:])
+	p.WriteChecksum()
+	if err := db.data.WritePage(alloc.BootPage, p.Bytes()); err != nil {
+		return err
+	}
+	// Sidecar second: on success readBoot prefers it; a crash in between
+	// leaves the previous sidecar, whose older checkpoint pointer is a
+	// valid (merely earlier) recovery starting hint.
+	buf := make([]byte, bootBlockSize+4)
+	db.encodeBootBlock(buf)
+	binary.LittleEndian.PutUint32(buf[bootBlockSize:], crc32.ChecksumIEEE(buf[:bootBlockSize]))
+	if err := fsutil.AtomicWriteFile(db.bootMetaPath(), buf, db.opts.SyncPolicy == wal.SyncData); err != nil {
+		return fmt.Errorf("engine: boot meta: %w", err)
+	}
+	return nil
+}
+
+func (db *DB) readBoot() error {
+	// Prefer the crash-atomic sidecar; fall back to page 0 (pre-sidecar
+	// databases, or a sidecar lost with its directory entry).
+	if buf, err := os.ReadFile(db.bootMetaPath()); err == nil &&
+		len(buf) == bootBlockSize+4 &&
+		crc32.ChecksumIEEE(buf[:bootBlockSize]) == binary.LittleEndian.Uint32(buf[bootBlockSize:]) {
+		if err := db.decodeBootBlock(buf[:bootBlockSize]); err == nil {
+			return nil
+		}
+	}
+	buf := make([]byte, page.Size)
+	if err := db.data.ReadPage(alloc.BootPage, buf); err != nil {
+		return err
+	}
+	p := page.FromBytes(buf)
+	if err := p.VerifyChecksum(); err != nil {
+		return fmt.Errorf("engine: boot page: %w", err)
+	}
+	return db.decodeBootBlock(buf[bootPayload:])
 }
 
 // DecodeBootRoots extracts the catalog roots from a raw boot page image.
@@ -703,6 +781,13 @@ func (db *DB) rebuildCkptIndex() error {
 	var samples []wal.TimeSample
 	cur := db.LastCheckpointEnd()
 	for cur != wal.NilLSN {
+		if cur >= db.log.NextLSN() {
+			// The boot record points past the local log: a reseeded standby
+			// whose log begins at the backup checkpoint and has not yet
+			// ingested that far. The stream (NoteCheckpoint) rebuilds the
+			// index as those records arrive.
+			break
+		}
 		rec, err := db.log.Read(cur)
 		if err != nil {
 			if errors.Is(err, wal.ErrTruncated) {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/row"
+	"repro/internal/wal"
 )
 
 // TestRecoveryTruncatesTornTail: a crash that tears the final log record
@@ -29,10 +30,14 @@ func TestRecoveryTruncatesTornTail(t *testing.T) {
 	})
 	db.Crash()
 
-	// Tear the log: chop a few bytes off the end, leaving the final record
-	// cut mid-body (the log always ends on a record boundary, so any
-	// shorter length lands inside one).
-	logPath := filepath.Join(dir, "wal.log")
+	// Tear the log: chop a few bytes off the end of the tail segment,
+	// leaving the final record cut mid-body (the log always ends on a
+	// record boundary, so any shorter length lands inside one).
+	segs, err := wal.ListSegments(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logPath := segs[len(segs)-1].Path
 	st, err := os.Stat(logPath)
 	if err != nil {
 		t.Fatal(err)

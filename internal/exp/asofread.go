@@ -42,6 +42,7 @@ func AsOfReadPath(dir string, txns, clients int, w io.Writer) (AsOfReadResult, e
 	var res AsOfReadResult
 	clock := vclock.New(time.Time{})
 	db, err := engine.Open(dir, engine.Options{
+		SyncPolicy:      LogSync,
 		Now:             clock.Now,
 		BufferFrames:    4096,
 		CheckpointEvery: 4 << 20,

@@ -56,6 +56,7 @@ func CommitThroughput(dir string, o CommitOptions, w io.Writer) (CommitResult, e
 		o.Preload = 20_000
 	}
 	db, err := engine.Open(dir, engine.Options{
+		SyncPolicy:          LogSync,
 		BufferFrames:        8192,
 		DisableGroupCommit:  o.DisableGroupCommit,
 		GroupCommitMaxDelay: o.GroupCommitMaxDelay,

@@ -17,7 +17,14 @@ import (
 	"repro/internal/storage/media"
 	"repro/internal/tpcc"
 	"repro/internal/vclock"
+	"repro/internal/wal"
 )
+
+// LogSync is the log-force durability policy applied to every engine the
+// experiment harness opens (asofbench -sync fdatasync): under wal.SyncData
+// each group-commit flush really hits the device, which is the regime the
+// GroupCommitMaxDelay linger knob exists to amortize.
+var LogSync wal.SyncPolicy
 
 // HistoryConfig controls the benchmark history built for Figures 7-11.
 type HistoryConfig struct {
@@ -86,6 +93,7 @@ func BuildHistory(dir string, cfg HistoryConfig) (*History, error) {
 		dir:     dir,
 	}
 	db, err := engine.Open(filepath.Join(dir, "db"), engine.Options{
+		SyncPolicy:      LogSync,
 		Now:             clock.Now,
 		DataDevice:      h.DataDev,
 		LogDevice:       h.LogDev,

@@ -39,6 +39,7 @@ func LoggingOverhead(dir string, txns, clients int, sweep []int, w io.Writer) ([
 	for _, n := range sweep {
 		clock := vclock.New(time.Time{})
 		db, err := engine.Open(filepath.Join(dir, fmt.Sprintf("n%d", n)), engine.Options{
+			SyncPolicy:      LogSync,
 			Now:             clock.Now,
 			PageImageEvery:  n,
 			BufferFrames:    2048,

@@ -97,6 +97,7 @@ func Replication(dir string, txns, clients, replicas int, w io.Writer) (Replicat
 	// Shared primary for the offload arms, configured like Concurrent's.
 	clock := vclock.New(time.Time{})
 	prim, err := engine.Open(filepath.Join(dir, "offload-primary"), engine.Options{
+		SyncPolicy:      LogSync,
 		Now:             clock.Now,
 		BufferFrames:    2048,
 		CheckpointEvery: 4 << 20,
@@ -134,7 +135,7 @@ func Replication(dir string, txns, clients, replicas int, w io.Writer) (Replicat
 	catchupStart := time.Now()
 	for i := range reps {
 		r, err := repl.OpenReplica(filepath.Join(dir, fmt.Sprintf("replica%d", i)), repl.ReplicaOptions{
-			Engine: engine.Options{Now: clock.Now, BufferFrames: 2048, LogCacheBlocks: 1024},
+			Engine: engine.Options{Now: clock.Now, BufferFrames: 2048, LogCacheBlocks: 1024, SyncPolicy: LogSync},
 		})
 		if err != nil {
 			return out, err

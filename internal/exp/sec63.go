@@ -97,6 +97,7 @@ func Concurrent(dir string, txns, clients int, w io.Writer) (ConcurrentResult, e
 	run := func(sub string, withAsOf bool) (tpcc.Result, int, time.Duration, time.Duration, error) {
 		clock := vclock.New(time.Time{})
 		db, err := engine.Open(filepath.Join(dir, sub), engine.Options{
+			SyncPolicy:      LogSync,
 			Now:             clock.Now,
 			BufferFrames:    2048,
 			CheckpointEvery: 4 << 20,

@@ -30,4 +30,12 @@
 // bounded restart, reseeds the time→LSN index and ATT marks from the
 // stream, and mounts as-of snapshots locally. Promote completes undo and
 // reopens the standby read-write.
+//
+// History older than the primary's live segment set is still reachable: a
+// subscription below the live floor is served from the retention archive
+// when one covers it (the shipper stitches archive + live segments into
+// one byte stream), and a replica too far behind even for the archive is
+// rebuilt with ReseedFromBackup — backup image as data.db, archived
+// segments as the local log, apply state positioned at the backup
+// checkpoint — after which the stream bridges the rest.
 package repl

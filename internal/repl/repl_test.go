@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"testing"
 	"time"
 
@@ -13,7 +14,20 @@ import (
 	"repro/internal/row"
 	"repro/internal/tpcc"
 	"repro/internal/vclock"
+	"repro/internal/wal"
 )
+
+// testSyncPolicy lets CI run the replication crash/resume/reseed suite
+// under a real fsync regime: ASOFDB_SYNC=fdatasync flips every engine —
+// primary and standby — these tests open.
+func testSyncPolicy(t *testing.T) wal.SyncPolicy {
+	t.Helper()
+	p, err := wal.ParseSyncPolicy(os.Getenv("ASOFDB_SYNC"))
+	if err != nil {
+		t.Fatalf("ASOFDB_SYNC: %v", err)
+	}
+	return p
+}
 
 func testSchema(name string) *row.Schema {
 	return &row.Schema{
@@ -66,6 +80,8 @@ func newCluster(t *testing.T, primOpts engine.Options, repOpts ReplicaOptions) *
 	if primOpts.Clock == nil && primOpts.Now == nil {
 		primOpts.Now = c.clock.Now
 	}
+	primOpts.SyncPolicy = testSyncPolicy(t)
+	repOpts.Engine.SyncPolicy = testSyncPolicy(t)
 	prim, err := engine.Open(t.TempDir(), primOpts)
 	if err != nil {
 		t.Fatal(err)
@@ -504,14 +520,26 @@ func TestTCPTransport(t *testing.T) {
 // predates the primary's retention truncation is told to reseed.
 func TestSubscribePastTruncationRejected(t *testing.T) {
 	clock := vclock.New(time.Time{})
-	prim, err := engine.Open(t.TempDir(), engine.Options{Now: clock.Now, Retention: time.Minute})
+	// Small segments and no archive: retention physically drops the early
+	// history, so a from-scratch subscription cannot be served.
+	prim, err := engine.Open(t.TempDir(), engine.Options{
+		Now: clock.Now, Retention: time.Minute, LogSegmentBytes: 4 << 10,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer prim.Close()
 	mustExec(t, prim, func(tx *engine.Txn) error { return tx.CreateTable(testSchema("tr")) })
+	mustExec(t, prim, func(tx *engine.Txn) error {
+		for i := 0; i < 200; i++ {
+			if err := tx.Insert("tr", testRow(i, "x", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	clock.Advance(10 * time.Minute)
-	mustExec(t, prim, func(tx *engine.Txn) error { return tx.Insert("tr", testRow(1, "x", 1)) })
+	mustExec(t, prim, func(tx *engine.Txn) error { return tx.Insert("tr", testRow(1000, "x", 1)) })
 	if err := prim.Checkpoint(); err != nil { // prunes history beyond retention
 		t.Fatal(err)
 	}
@@ -519,8 +547,8 @@ func TestSubscribePastTruncationRejected(t *testing.T) {
 	if err := prim.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	if prim.Log().TruncationPoint() <= 1 {
-		t.Skip("retention did not truncate; nothing to reject")
+	if prim.Log().SegmentFloor() <= 1 {
+		t.Skip("retention did not drop segments; nothing to reject")
 	}
 
 	ship := NewShipper(prim, ShipperOptions{})

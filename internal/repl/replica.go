@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/asof"
 	"repro/internal/engine"
+	"repro/internal/fsutil"
 	"repro/internal/wal"
 )
 
@@ -159,28 +160,18 @@ func OpenReplica(dir string, opts ReplicaOptions) (*Replica, error) {
 	}
 
 	// Catch up from the local log copy: everything at or below `applied`
-	// is reflected in (or flushable from) the data file; replay the rest.
-	// validEnd tracks the last intact record so a torn ingest tail is cut
-	// before the stream resumes at that exact boundary.
-	validEnd := applied
-	err = eng.Log().Scan(applied+1, func(rec *wal.Record) (bool, error) {
-		if err := r.applyOne(rec); err != nil {
-			return false, err
-		}
-		validEnd = rec.LSN + wal.LSN(rec.ApproxSize()) - 1
-		return true, nil
-	})
-	if err != nil {
+	// is reflected in (or flushable from) the data file; replay the rest
+	// through the parallel-apply path. A torn ingest tail (crash mid-write)
+	// is cut to the last valid CRC boundary so the stream resumes exactly
+	// there. A log that begins past LSN 1 (a reseeded replica: archived
+	// segments, or an empty store based at the backup checkpoint) replays
+	// only what it holds — the persisted apply state positions the scan.
+	eng.SetAppliedLSN(applied)
+	if err := r.catchUpLocal(true); err != nil {
 		eng.Close()
 		return nil, fmt.Errorf("repl: local catch-up: %w", err)
 	}
-	if end := wal.LSN(eng.Log().Size()); validEnd < end {
-		if err := eng.Log().Rewind(validEnd); err != nil {
-			eng.Close()
-			return nil, fmt.Errorf("repl: torn-tail rewind to %v: %w", validEnd, err)
-		}
-	}
-	eng.SetAppliedLSN(validEnd)
+	validEnd := eng.AppliedLSN()
 	r.pendingAt = validEnd + 1
 	r.lastCkptAt = validEnd
 	r.lastMarkAt = validEnd
@@ -307,7 +298,7 @@ func (r *Replica) Run(conn Conn) error {
 			// A deferred-apply backlog drains on the first idle beat after
 			// ResumeApply even if no new batch ever arrives.
 			if !r.applyPaused.Load() && r.db.AppliedLSN()+1 < r.db.Log().NextLSN() {
-				if err := r.catchUpLocal(); err != nil {
+				if err := r.catchUpLocal(false); err != nil {
 					return err
 				}
 				if err := r.maybeMaintain(); err != nil {
@@ -409,8 +400,9 @@ func (r *Replica) ingest(from wal.LSN, payload []byte) error {
 		r.appliedRecords.Add(int64(len(recs)))
 	default:
 		// A deferred-apply window just ended: replay the backlog (which
-		// includes this batch) from the local log in order.
-		if err := r.catchUpLocal(); err != nil {
+		// includes this batch) from the local log in order, fanned across
+		// the apply workers.
+		if err := r.catchUpLocal(false); err != nil {
 			return err
 		}
 	}
@@ -444,25 +436,98 @@ func (r *Replica) maybeMaintain() error {
 }
 
 // catchUpLocal replays local log records past the applied LSN (the
-// deferred-apply backlog, or a restart's tail) in order.
-func (r *Replica) catchUpLocal() error {
-	end := wal.LSN(0)
-	err := r.db.Log().Scan(r.db.AppliedLSN()+1, func(rec *wal.Record) (bool, error) {
-		if err := r.applyOne(rec); err != nil {
-			return false, err
+// deferred-apply backlog, or a restart's tail). It streams the raw durable
+// bytes in ~1 MiB slabs, parses them into record batches, and drives each
+// batch through apply — the same page-id-partitioned worker fan-out the
+// live stream uses — so a multi-hundred-MiB deferred backlog drains at
+// parallel-redo bandwidth instead of one record at a time. Analysis and
+// non-page bookkeeping still happen in strict log order on this goroutine
+// (apply's coordinator pass), so the incremental ATT stays exact at every
+// batch barrier.
+//
+// rewindTorn additionally truncates a torn tail (a crash mid-AppendRaw) to
+// the last valid CRC boundary — the restart path, where the replica is
+// quiescent; a live session's local log always ends on a record boundary,
+// so the stream paths pass false and treat a tear as corruption.
+func (r *Replica) catchUpLocal(rewindTorn bool) error {
+	log := r.db.Log()
+	chunk := make([]byte, 1<<20)
+	var carry []byte // partial frame spilling past a slab boundary
+	recs := make([]*wal.Record, 0, 1024)
+	off := int64(r.db.AppliedLSN()) // 0-based offset of the next byte to read
+	if floor := int64(log.TruncationPoint() - 1); off < floor {
+		// The local log begins past the requested position (reseeded store,
+		// or apply state lost): replay what the log actually holds.
+		off = floor
+	}
+	for {
+		n, err := log.ReadDurable(chunk, off)
+		if err != nil {
+			return err
 		}
-		end = rec.LSN + wal.LSN(rec.ApproxSize()) - 1
-		r.appliedBytes.Add(int64(rec.ApproxSize()))
-		r.appliedRecords.Add(1)
-		return true, nil
-	})
-	if err != nil {
-		return err
+		if n == 0 {
+			if len(carry) == 0 {
+				return nil // fully drained
+			}
+			// The durable log ends inside a record.
+			if !rewindTorn {
+				return fmt.Errorf("repl: local log ends mid-record at %v", r.db.AppliedLSN()+1)
+			}
+			return log.Rewind(r.db.AppliedLSN())
+		}
+		data := chunk[:n]
+		if len(carry) > 0 {
+			data = append(carry, data...)
+		}
+		base := off + int64(n) - int64(len(data)) // offset of data[0]
+		pos, torn := 0, false
+		recs = recs[:0]
+		for {
+			body, size, ok, ferr := wal.NextFrame(data[pos:])
+			if ferr != nil {
+				if !rewindTorn {
+					return fmt.Errorf("repl: corrupt local record at %v: %w", wal.LSN(base+int64(pos))+1, ferr)
+				}
+				torn = true
+				break
+			}
+			if !ok {
+				break
+			}
+			rec, derr := wal.DecodeBody(body)
+			if derr != nil {
+				if !rewindTorn {
+					return fmt.Errorf("repl: undecodable local record at %v: %w", wal.LSN(base+int64(pos))+1, derr)
+				}
+				torn = true
+				break
+			}
+			rec.LSN = wal.LSN(base+int64(pos)) + 1
+			recs = append(recs, rec)
+			pos += size
+		}
+		if len(recs) > 0 {
+			if err := r.apply(recs); err != nil {
+				return err
+			}
+			r.db.SetAppliedLSN(wal.LSN(base + int64(pos)))
+			r.appliedBytes.Add(int64(pos))
+			r.appliedRecords.Add(int64(len(recs)))
+		}
+		if torn {
+			return log.Rewind(r.db.AppliedLSN())
+		}
+		if pos == 0 {
+			// The pending record is bigger than the slab (a checkpoint-end
+			// with a huge payload): size the next read to finish it in one
+			// pass instead of re-copying the growing carry every slab.
+			if need, ok := wal.FrameSize(data); ok && need > len(chunk) {
+				chunk = make([]byte, need)
+			}
+		}
+		carry = append(carry[:0], data[pos:]...)
+		off += int64(n)
 	}
-	if end != wal.NilLSN {
-		r.db.SetAppliedLSN(end)
-	}
-	return nil
 }
 
 // PauseApply defers redo (cf. PostgreSQL's recovery_min_apply_delay, taken
@@ -556,12 +621,6 @@ func (r *Replica) observe(rec *wal.Record) {
 			})
 		}
 	}
-}
-
-// applyOne is the sequential (local catch-up) form of apply+observe.
-func (r *Replica) applyOne(rec *wal.Record) error {
-	r.observe(rec)
-	return r.db.RedoRecord(rec)
 }
 
 // checkpoint is the replica's own checkpoint: flush dirty pages, sync,
@@ -711,12 +770,7 @@ func writeReplicaState(path string, st replicaState) error {
 	}
 	binary.LittleEndian.PutUint64(tmp[:], uint64(crc32.ChecksumIEEE(buf)))
 	buf = append(buf, tmp[:4]...)
-
-	tmpPath := path + ".tmp"
-	if err := os.WriteFile(tmpPath, buf, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmpPath, path)
+	return fsutil.AtomicWriteFile(path, buf, false)
 }
 
 func readReplicaState(path string) (replicaState, bool, error) {

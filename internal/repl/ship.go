@@ -95,6 +95,12 @@ type SubscriberStatus struct {
 	// LagBytes is PrimaryDurable - Applied: the log the replica still has
 	// to apply before it sees the primary's newest committed state.
 	LagBytes int64 `json:"lag_bytes"`
+	// Retained is the lowest LSN the primary's live log physically holds
+	// (its segment floor). A replica that falls below it can resubscribe
+	// only if the retention archive still covers its resume point;
+	// otherwise it must be reseeded from a backup. Surfaced here so
+	// `asofctl repl-status` shows how much slack each replica has.
+	Retained wal.LSN `json:"retained"`
 	// LastCommitAt is the commit time of the last transaction the replica
 	// applied; LagSeconds the primary clock's distance from it. Both are
 	// zero before the replica applies its first commit.
@@ -127,6 +133,7 @@ func (s *Shipper) Close() {
 // Status reports every connected subscriber.
 func (s *Shipper) Status() []SubscriberStatus {
 	durable := s.db.Log().FlushedLSN()
+	retained := s.db.Log().SegmentFloor()
 	now := s.db.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -138,6 +145,7 @@ func (s *Shipper) Status() []SubscriberStatus {
 			Shipped:        wal.LSN(sub.shipped.Load()),
 			Applied:        wal.LSN(sub.ackedApplied.Load()),
 			ReplicaDurable: wal.LSN(sub.ackedDurable.Load()),
+			Retained:       retained,
 			Connected:      now.Sub(sub.connectedAt),
 			BytesShipped:   sub.bytesShipped.Load(),
 			Batches:        sub.batchesSent.Load(),
@@ -215,13 +223,49 @@ func (s *Shipper) Serve(conn Conn) error {
 	if from == wal.NilLSN {
 		from = 1
 	}
-	if t := log.TruncationPoint(); from < t {
-		// The requested history is gone (retention truncation): the replica
-		// must be reseeded from a backup image; plain log shipping cannot
-		// bridge the gap.
-		_ = conn.Send(&Frame{Kind: KindError,
-			Payload: []byte(fmt.Sprintf("subscription at %v predates truncation point %v; reseed the replica", from, t))})
-		return fmt.Errorf("repl: subscription at %v predates truncation point %v", from, t)
+	// A subscription below the live store's physical floor (retention
+	// dropped those segments) is served from the retention archive when one
+	// covers the resume point — the stream then reads archive and live
+	// segments as one byte-contiguous log, which also bridges the record
+	// that straddles the archive/live boundary. Only when the bytes are
+	// truly gone (no archive, or the archive starts too late) is the
+	// replica told to reseed from a backup.
+	var arch *wal.ArchivedLog
+	defer func() {
+		if arch != nil {
+			arch.Close()
+		}
+	}()
+	// useArchive switches the session onto the archive+live composite when
+	// at is below the live floor. A false return carries why the archive
+	// could not serve it — a damaged archive (gap, unreadable header) is an
+	// operator-fixable condition and must not masquerade as "no archive".
+	useArchive := func(at wal.LSN) (bool, error) {
+		if arch != nil {
+			return true, nil
+		}
+		dir := log.ArchiveDir()
+		if dir == "" {
+			return false, errors.New("no archive configured")
+		}
+		a, err := wal.OpenArchive(dir, log)
+		if err != nil {
+			return false, fmt.Errorf("archive unusable: %w", err)
+		}
+		if a.Floor() > at {
+			f := a.Floor()
+			a.Close()
+			return false, fmt.Errorf("archive starts at %v, after the requested %v", f, at)
+		}
+		arch = a
+		return true, nil
+	}
+	if floor := log.SegmentFloor(); from < floor {
+		if ok, aerr := useArchive(from); !ok {
+			_ = conn.Send(&Frame{Kind: KindError,
+				Payload: []byte(fmt.Sprintf("subscription at %v predates the retained log (floor %v; %v); reseed the replica", from, floor, aerr))})
+			return fmt.Errorf("repl: subscription at %v predates retained log floor %v: %v", from, floor, aerr)
+		}
 	}
 	if next := log.NextLSN(); from > next {
 		_ = conn.Send(&Frame{Kind: KindError,
@@ -278,12 +322,37 @@ func (s *Shipper) Serve(conn Conn) error {
 
 	notify := log.FlushNotify()
 	defer log.FlushUnnotify(notify)
+	// read serves the next stream bytes. Retention can drop segments below
+	// a slow subscriber's position mid-session; the check upgrades the
+	// session onto the archive composite (or ends it cleanly) instead of
+	// ever shipping bytes the live store no longer holds.
+	read := func(b []byte, off int64) (int, error) {
+		for {
+			if arch != nil {
+				return arch.ReadDurable(b, off)
+			}
+			if off < int64(log.SegmentFloor()-1) {
+				if ok, aerr := useArchive(wal.LSN(off + 1)); !ok {
+					return 0, fmt.Errorf("repl: retention dropped unshipped log at %v (%v)", wal.LSN(off+1), aerr)
+				}
+				continue
+			}
+			n, err := log.ReadDurable(b, off)
+			if err != nil || off >= int64(log.SegmentFloor()-1) {
+				return n, err
+			}
+			// Retention dropped the segment between the floor check and the
+			// read: the buffer may hold zero-filled bytes from the dropped
+			// range. Retry through the archive, which serves the same
+			// immutable bytes from the renamed files.
+		}
+	}
 	buf := make([]byte, s.opts.BatchBytes)
 	off := int64(from - 1)
 	heartbeat := time.NewTimer(s.opts.HeartbeatEvery)
 	defer heartbeat.Stop()
 	for {
-		n, err := log.ReadDurable(buf, off)
+		n, err := read(buf, off)
 		if err != nil {
 			return err
 		}
@@ -291,7 +360,7 @@ func (s *Shipper) Serve(conn Conn) error {
 			// Coalesce: trade up to BatchLinger of lag for fewer, larger
 			// batches (and proportionally fewer cross-goroutine wakeups).
 			time.Sleep(s.opts.BatchLinger)
-			if n2, err := log.ReadDurable(buf[n:], off+int64(n)); err == nil && n2 > 0 {
+			if n2, err := read(buf[n:], off+int64(n)); err == nil && n2 > 0 {
 				n += n2
 			}
 		}

@@ -88,7 +88,7 @@ func (f *fakePrimary) drainAcks() {
 // buildSourceDB creates a primary with some committed history.
 func buildSourceDB(t *testing.T, clock *vclock.Clock) *engine.DB {
 	t.Helper()
-	db, err := engine.Open(t.TempDir(), engine.Options{Now: clock.Now})
+	db, err := engine.Open(t.TempDir(), engine.Options{Now: clock.Now, SyncPolicy: testSyncPolicy(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestReplicaTornBatchResumes(t *testing.T) {
 	boundary := recordBoundary(t, fp.raw)
 	cut := boundary + 9 // mid-record: past the next frame's header
 
-	rep, err := OpenReplica(t.TempDir(), ReplicaOptions{Engine: engine.Options{Now: clock.Now}})
+	rep, err := OpenReplica(t.TempDir(), ReplicaOptions{Engine: engine.Options{Now: clock.Now, SyncPolicy: testSyncPolicy(t)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestReplicaRejectsCorruptBatch(t *testing.T) {
 	prim := buildSourceDB(t, clock)
 	fp := newFakePrimary(t, prim)
 
-	rep, err := OpenReplica(t.TempDir(), ReplicaOptions{Engine: engine.Options{Now: clock.Now}})
+	rep, err := OpenReplica(t.TempDir(), ReplicaOptions{Engine: engine.Options{Now: clock.Now, SyncPolicy: testSyncPolicy(t)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func TestReplicaCrashTornLocalLogRecovers(t *testing.T) {
 	boundary := recordBoundary(t, fp.raw)
 
 	dir := t.TempDir()
-	rep, err := OpenReplica(dir, ReplicaOptions{Engine: engine.Options{Now: clock.Now}})
+	rep, err := OpenReplica(dir, ReplicaOptions{Engine: engine.Options{Now: clock.Now, SyncPolicy: testSyncPolicy(t)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,8 +277,12 @@ func TestReplicaCrashTornLocalLogRecovers(t *testing.T) {
 	}
 
 	// Simulate a torn local write: the crashed process had appended a
-	// partial record past the boundary.
-	lf, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	// partial record past the boundary (into the tail segment file).
+	segs, err := wal.ListSegments(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := os.OpenFile(segs[len(segs)-1].Path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +291,7 @@ func TestReplicaCrashTornLocalLogRecovers(t *testing.T) {
 	}
 	lf.Close()
 
-	rep2, err := OpenReplica(dir, ReplicaOptions{Engine: engine.Options{Now: clock.Now}})
+	rep2, err := OpenReplica(dir, ReplicaOptions{Engine: engine.Options{Now: clock.Now, SyncPolicy: testSyncPolicy(t)}})
 	if err != nil {
 		t.Fatalf("reopen with torn local log: %v", err)
 	}

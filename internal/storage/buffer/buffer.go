@@ -409,10 +409,11 @@ func (s *shard) evictLocked() (*frame, error) {
 }
 
 // writeBack flushes one dirty frame, honoring the WAL rule. Callers must
-// exclude concurrent writers and other writebacks of the same frame: the
-// eviction path holds the frame latch exclusively (no shard lock); FlushAll
-// holds the latch shared plus s.mu (writebacks of a frame pinned by
-// FlushAll cannot race with eviction's, which only claims pin-free frames).
+// hold the frame latch exclusively: WriteChecksum mutates the page header,
+// so even a reader-facing flush is a write to the frame. The eviction path
+// latches exclusively with no shard lock; FlushAll latches exclusively plus
+// s.mu (writebacks of a frame pinned by FlushAll cannot race with
+// eviction's, which only claims pin-free frames).
 func (s *shard) writeBack(f *frame) error {
 	if s.cfg.FlushLog != nil {
 		if err := s.cfg.FlushLog(f.pg.PageLSN()); err != nil {
@@ -435,8 +436,10 @@ func unpin(f *frame) {
 	}
 }
 
-// FlushAll writes back every dirty page. Pages being modified concurrently
-// are briefly latched shared to get a consistent image.
+// FlushAll writes back every dirty page. Each page is briefly latched
+// exclusively: writeBack stamps the page checksum into the frame, which
+// must not race with a concurrent shared-latch reader copying the page (a
+// snapshot source taking an image of it).
 func (p *Pool) FlushAll() error {
 	var firstErr error
 	for _, s := range p.shards {
@@ -451,14 +454,14 @@ func (p *Pool) FlushAll() error {
 		s.mu.Unlock()
 
 		for _, f := range dirty {
-			f.latch.RLock()
+			f.latch.Lock()
 			s.mu.Lock()
 			var err error
 			if f.dirty.Load() && f.id != page.InvalidID {
 				err = s.writeBack(f)
 			}
 			s.mu.Unlock()
-			f.latch.RUnlock()
+			f.latch.Unlock()
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}

@@ -1,0 +1,340 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ArchivedLog presents one contiguous, LSN-addressed read surface over a
+// retention archive directory plus (optionally) the live log the segments
+// were dropped from. It is what lets a point-in-time restore replay log
+// from before the retention horizon: retention moved those sealed segments
+// into the archive instead of deleting them, and their headers still carry
+// the base offsets, so LSN arithmetic is unchanged.
+//
+// Byte-level composition matters: records byte-stripe across segments, so
+// the last archived segment can hold the first half of a record whose
+// second half lives in the first live segment. Reads therefore stitch at
+// byte granularity, not record granularity.
+//
+// An ArchivedLog is a read-only, single-goroutine view (restores and
+// reseeds are sequential); it holds the archived files open until Close.
+type ArchivedLog struct {
+	dir  string
+	segs []archSeg
+	live *Manager
+}
+
+type archSeg struct {
+	start int64
+	size  int64
+	f     *os.File
+}
+
+// OpenArchive opens the archived segments in dir, composed with live (which
+// may be nil for a pure-archive view). The archived segments must be
+// contiguous among themselves and, when live is given, reach the live
+// store's first byte — a gap means log history was lost and the composite
+// cannot be scanned across it.
+func OpenArchive(dir string, live *Manager) (*ArchivedLog, error) {
+	a := &ArchivedLog{dir: dir, live: live}
+	if err := a.load(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// load (re-)opens the archive directory's segment set. Called at open and
+// by Refresh when retention has archived further segments since.
+func (a *ArchivedLog) load() error {
+	for _, s := range a.segs {
+		s.f.Close()
+	}
+	a.segs = nil
+	if a.dir != "" {
+		names, err := segFileNames(a.dir)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		for _, name := range names {
+			f, err := os.Open(filepath.Join(a.dir, name))
+			if err != nil {
+				a.Close()
+				return err
+			}
+			fi, err := f.Stat()
+			if err != nil {
+				f.Close()
+				a.Close()
+				return err
+			}
+			_, start, ok := readSegHeader(f)
+			if !ok {
+				f.Close()
+				continue
+			}
+			size := fi.Size() - segHeaderSize
+			if size < 0 {
+				size = 0
+			}
+			a.segs = append(a.segs, archSeg{start: start, size: size, f: f})
+		}
+		sort.Slice(a.segs, func(i, j int) bool { return a.segs[i].start < a.segs[j].start })
+		for i := 1; i < len(a.segs); i++ {
+			if a.segs[i-1].start+a.segs[i-1].size != a.segs[i].start {
+				a.Close()
+				return fmt.Errorf("wal: archive gap between offsets %d and %d",
+					a.segs[i-1].start+a.segs[i-1].size, a.segs[i].start)
+			}
+		}
+	}
+	if a.live != nil && len(a.segs) > 0 {
+		last := a.segs[len(a.segs)-1]
+		if liveStart := a.live.store.startOff(); last.start+last.size < liveStart {
+			a.Close()
+			return fmt.Errorf("wal: archive ends at offset %d but the live log begins at %d",
+				last.start+last.size, liveStart)
+		}
+	}
+	return nil
+}
+
+// covers reports whether logical offset off is backed by bytes the
+// composite can actually serve (an archived segment, or the live store).
+func (a *ArchivedLog) covers(off int64) bool {
+	if a.live != nil && off >= a.live.store.startOff() {
+		return true
+	}
+	return len(a.segs) > 0 && off >= a.segs[0].start &&
+		off < a.segs[len(a.segs)-1].start+a.segs[len(a.segs)-1].size
+}
+
+// ReadDurable fills buf from logical offset off, serving archived bytes
+// from the archive files and everything else from the live log's durable
+// range — the shipper's read path for a subscription that resumes below
+// the live retention floor. If retention archived further segments since
+// this view was opened, the view refreshes itself; bytes neither archived
+// nor live are a hard error (history is gone, the stream must not ship
+// zeros).
+func (a *ArchivedLog) ReadDurable(buf []byte, off int64) (int, error) {
+	if a.live != nil {
+		durable := int64(a.live.flushed.Load())
+		if off >= durable {
+			return 0, nil
+		}
+		if off+int64(len(buf)) > durable {
+			buf = buf[:durable-off]
+		}
+	}
+	for {
+		if !a.covers(off) {
+			if err := a.load(); err != nil {
+				return 0, err
+			}
+			if !a.covers(off) {
+				return 0, fmt.Errorf("wal: offset %d is neither archived nor live", off)
+			}
+		}
+		archEnd := off // first byte the live store (not the archive) serves
+		if n := len(a.segs); n > 0 {
+			if e := a.segs[n-1].start + a.segs[n-1].size; e > archEnd {
+				archEnd = e
+			}
+		}
+		n, err := a.readAt(buf, off)
+		if err != nil || a.live == nil || off+int64(n) <= archEnd {
+			return n, err
+		}
+		// Part of the read came from the live store. If retention raised the
+		// live floor past that part's start while we read, its prefix may be
+		// zero-filled (segmentStore.readAt serves dropped ranges as zeros) —
+		// refresh the archive view, which now holds those segments, and
+		// retry. The floor only rises and the archive stays contiguous with
+		// it, so the loop terminates.
+		if archEnd >= a.live.store.startOff() {
+			return n, err
+		}
+		if err := a.load(); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// Close releases the archived segment files (the live manager, if any, is
+// not touched).
+func (a *ArchivedLog) Close() error {
+	var first error
+	for _, s := range a.segs {
+		if err := s.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	a.segs = nil
+	return first
+}
+
+// Floor returns the lowest LSN the composite can serve.
+func (a *ArchivedLog) Floor() LSN {
+	if len(a.segs) > 0 {
+		return LSN(a.segs[0].start + 1)
+	}
+	if a.live != nil {
+		return a.live.TruncationPoint()
+	}
+	return 1
+}
+
+// End returns the LSN just past the last byte the composite can serve.
+func (a *ArchivedLog) End() LSN {
+	if a.live != nil {
+		return a.live.NextLSN()
+	}
+	if n := len(a.segs); n > 0 {
+		return LSN(a.segs[n-1].start + a.segs[n-1].size + 1)
+	}
+	return 1
+}
+
+// readAt serves logical offset off from the archived segments where they
+// cover it, and from the live log elsewhere. Overlap is resolved in the
+// archive's favor (archived bytes are immutable; the live copy of an
+// overlapping region is byte-identical anyway).
+func (a *ArchivedLog) readAt(buf []byte, off int64) (int, error) {
+	read := 0
+	for read < len(buf) {
+		i := sort.Search(len(a.segs), func(i int) bool { return a.segs[i].start+a.segs[i].size > off })
+		if i == len(a.segs) || off < a.segs[i].start {
+			// Not covered by the archive: the live log serves the rest in
+			// one go (it spans its own segments internally).
+			if a.live == nil {
+				if read == 0 {
+					return 0, io.EOF
+				}
+				return read, nil
+			}
+			n, err := a.live.readAt(buf[read:], off, false)
+			return read + n, err
+		}
+		s := a.segs[i]
+		n := int64(len(buf) - read)
+		if lim := s.start + s.size - off; n > lim {
+			n = lim
+		}
+		rn, err := s.f.ReadAt(buf[read:read+int(n)], off-s.start+segHeaderSize)
+		if err != nil && !(errors.Is(err, io.EOF) && int64(rn) == n) {
+			return read + rn, fmt.Errorf("wal: archive read at %d: %w", off, err)
+		}
+		read += int(n)
+		off += n
+	}
+	return read, nil
+}
+
+// Scan iterates records in LSN order starting at from (clamped to the
+// composite's floor), stopping at a torn tail exactly like Manager.Scan.
+func (a *ArchivedLog) Scan(from LSN, fn func(*Record) (bool, error)) error {
+	if from == NilLSN {
+		from = 1
+	}
+	if f := a.Floor(); from < f {
+		from = f
+	}
+	return scanFrames(a.readAt, from, fn)
+}
+
+// Read fetches the record at lsn through the composite surface.
+func (a *ArchivedLog) Read(lsn LSN) (*Record, error) {
+	if lsn == NilLSN {
+		return nil, errors.New("wal: read of nil LSN")
+	}
+	if f := a.Floor(); lsn < f {
+		return nil, fmt.Errorf("%w: %v < %v", ErrTruncated, lsn, f)
+	}
+	return readFrame(a.readAt, lsn)
+}
+
+// scanFrames drives the shared sequential frame-decode loop over an
+// arbitrary byte source: parse a frame header, verify the body CRC, decode,
+// hand to fn; stop cleanly at a torn or truncated tail.
+func scanFrames(readAt func([]byte, int64) (int, error), from LSN, fn func(*Record) (bool, error)) error {
+	off := int64(from - 1)
+	var hdr [frameHeader]byte
+	body := make([]byte, 0, 4096)
+	for {
+		n, err := readAt(hdr[:], off)
+		if errors.Is(err, io.EOF) || n < frameHeader {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		bodyLen := int(binary.LittleEndian.Uint32(hdr[:4]))
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if bodyLen == 0 || bodyLen > MaxRecordBytes {
+			break // implausible header: torn/garbage tail
+		}
+		if cap(body) < bodyLen {
+			body = make([]byte, bodyLen)
+		}
+		body = body[:bodyLen]
+		bn, err := readAt(body, off+frameHeader)
+		if err != nil && !errors.Is(err, io.EOF) {
+			return fmt.Errorf("wal: scan body at %d: %w", off, err)
+		}
+		if bn < bodyLen || crc32.ChecksumIEEE(body) != wantCRC {
+			break // torn tail: the valid log ends here
+		}
+		rec, err := unmarshal(body)
+		if err != nil {
+			return err
+		}
+		rec.LSN = LSN(off + 1)
+		cont, err := fn(rec)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			break
+		}
+		off += int64(frameHeader + bodyLen)
+	}
+	return nil
+}
+
+// readFrame fetches and decodes the single record at lsn from a byte source.
+func readFrame(readAt func([]byte, int64) (int, error), lsn LSN) (*Record, error) {
+	var hdr [frameHeader]byte
+	if n, err := readAt(hdr[:], int64(lsn-1)); err != nil || n < frameHeader {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wal: read frame at %v: %w", lsn, err)
+	}
+	bodyLen := binary.LittleEndian.Uint32(hdr[:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if bodyLen == 0 || bodyLen > MaxRecordBytes {
+		return nil, fmt.Errorf("wal: implausible record length %d at %v", bodyLen, lsn)
+	}
+	body := make([]byte, bodyLen)
+	if n, err := readAt(body, int64(lsn-1)+frameHeader); err != nil || n < int(bodyLen) {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wal: read frame body at %v: %w", lsn, err)
+	}
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, fmt.Errorf("wal: checksum mismatch at %v", lsn)
+	}
+	r, err := unmarshal(body)
+	if err != nil {
+		return nil, err
+	}
+	r.LSN = lsn
+	return r, nil
+}

@@ -54,7 +54,7 @@ func TestWaitDurableMakesRecordsDurable(t *testing.T) {
 	wg.Wait()
 	// Drop the manager without Close: only what WaitDurable acknowledged is
 	// on disk, and all of it must be readable by a fresh manager.
-	if err := m.f.Close(); err != nil {
+	if err := m.store.close(); err != nil {
 		t.Fatal(err)
 	}
 	m2, err := Open(path, nil)

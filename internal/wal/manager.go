@@ -7,11 +7,13 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/fsutil"
 	"repro/internal/storage/media"
 )
 
@@ -42,8 +44,8 @@ const readBlockSize = 32 << 10
 type Manager struct {
 	mu sync.Mutex // guards append state and flush bookkeeping below
 
-	f   *os.File
-	dev *media.Device
+	store *segmentStore
+	dev   *media.Device
 
 	tail   []byte // active append buffer
 	tailAt LSN    // LSN of tail[0]
@@ -70,6 +72,13 @@ type Manager struct {
 
 	cache     *blockCache
 	UndoReads atomic.Int64 // random block reads served from disk (Fig 11)
+
+	// truncMu serializes Truncate's persist-then-drop sequence (concurrent
+	// auto-checkpoints may race into it); savedTrunc, under it, is the cut
+	// already persisted and physically applied, so an unchanged cut is a
+	// no-op instead of a repeat sidecar write (+fsyncs) per checkpoint.
+	truncMu    sync.Mutex
+	savedTrunc LSN
 
 	// Sparse time→LSN index (§5.1 acceleration): every timeSampleEvery
 	// bytes of log, the next commit record appended contributes a
@@ -101,29 +110,136 @@ type Manager struct {
 // lingering flush leader stops waiting for companions.
 const DefaultGroupCommitMaxBytes = 256 << 10
 
-// Open opens (creating if necessary) the log file at path. dev may be nil.
+// Config tunes the segmented log store behind a Manager.
+type Config struct {
+	// Dev is the simulated media device charged for log I/O (nil = uncharged).
+	Dev *media.Device
+	// SegmentBytes is the capacity of one segment file (default
+	// DefaultSegmentBytes; floor 4 KiB).
+	SegmentBytes int64
+	// Sync selects the log-force durability policy (default SyncNone).
+	Sync SyncPolicy
+	// ArchiveDir, when set, receives sealed segments dropped by retention
+	// instead of deleting them — the byte source for archive-backed replica
+	// reseeds and point-in-time restores past the retention horizon.
+	ArchiveDir string
+	// BaseLSN seeds a freshly created store so its log begins at the given
+	// LSN instead of 1 — a reseeded replica's local log starts at the
+	// backup checkpoint, not at database creation. Ignored when the store
+	// already holds segments.
+	BaseLSN LSN
+	// LegacyFile, when set and the store directory holds no segments yet,
+	// names a flat pre-segmentation log file whose bytes are migrated into
+	// the first segment (the file is kept, renamed *.migrated).
+	LegacyFile string
+}
+
+// Open opens (creating if necessary) the segmented log store rooted at the
+// directory path, with default configuration. dev may be nil.
 func Open(path string, dev *media.Device) (*Manager, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("wal: open: %w", err)
+	return OpenStore(path, Config{Dev: dev})
+}
+
+// OpenStore opens (creating if necessary) the segmented log store rooted at
+// the directory dir.
+func OpenStore(dir string, cfg Config) (*Manager, error) {
+	if cfg.LegacyFile != "" {
+		if err := migrateFlatLog(dir, cfg.LegacyFile); err != nil {
+			return nil, err
+		}
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("wal: stat: %w", err)
+	baseOff := int64(0)
+	if cfg.BaseLSN > 1 {
+		baseOff = int64(cfg.BaseLSN - 1)
 	}
+	store, err := openSegmentStore(dir, cfg.SegmentBytes, cfg.Sync, cfg.ArchiveDir, baseOff)
+	if err != nil {
+		return nil, err
+	}
+	end := LSN(store.endOff())
 	m := &Manager{
-		f:       f,
-		dev:     dev,
-		next:    LSN(st.Size()) + 1,
-		tailAt:  LSN(st.Size()) + 1,
+		store:   store,
+		dev:     cfg.Dev,
+		next:    end + 1,
+		tailAt:  end + 1,
 		gcBytes: DefaultGroupCommitMaxBytes,
 		cache:   newBlockCache(256), // 8 MiB of log cache
 		clock:   clock.Real(),
 	}
+	// A store whose first segment begins past offset 0 carries a durable
+	// retention floor. The logical truncation point — the record-boundary
+	// LSN retention cut at, which is what scans must resume from (the
+	// segment base itself is usually mid-record) — comes from the trunc
+	// sidecar; the physical floor is the fallback for stores predating it.
+	if t, ok := loadTruncPoint(dir); ok && t > 1 {
+		m.trunc.Store(uint64(t))
+		m.savedTrunc = t
+	} else if base := store.startOff(); base > 0 {
+		m.trunc.Store(uint64(base) + 1)
+	}
 	m.flushDone = sync.NewCond(&m.mu)
 	m.flushed.Store(uint64(m.next - 1))
 	return m, nil
+}
+
+// migrateFlatLog converts a pre-segmentation flat log file into the first
+// segment of a store. The (possibly oversized) segment seals on the first
+// rotation; LSNs are unchanged because segmentation is pure byte striping.
+func migrateFlatLog(dir, legacy string) error {
+	if fi, err := os.Stat(legacy); err != nil || fi.IsDir() {
+		return nil // nothing to migrate
+	}
+	// "Already populated" requires a segment with a VALID header: a crash
+	// during a previous migration attempt can leave a headerless or torn
+	// 00000001.seg, and treating that as populated would let open discard
+	// it and silently lose the entire flat log.
+	if segs, err := ListSegments(dir); err == nil && len(segs) > 0 {
+		return nil // store already populated; the flat file is stale
+	}
+	src, err := os.Open(legacy)
+	if err != nil {
+		return fmt.Errorf("wal: migrate open: %w", err)
+	}
+	defer src.Close()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: migrate mkdir: %w", err)
+	}
+	// Build the segment under a temporary name and rename it into place
+	// only once header + content are complete and synced: a crash mid-copy
+	// must leave no *.seg file, or the next open would treat the store as
+	// populated and the rest of the flat log would be silently lost.
+	dstPath := filepath.Join(dir, segName(1))
+	tmpPath := dstPath + ".tmp"
+	dst, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: migrate create: %w", err)
+	}
+	if err := writeSegHeader(dst, 1, 0); err != nil {
+		dst.Close()
+		return err
+	}
+	if _, err := dst.Seek(segHeaderSize, io.SeekStart); err != nil {
+		dst.Close()
+		return err
+	}
+	if _, err := io.Copy(dst, src); err != nil {
+		dst.Close()
+		return fmt.Errorf("wal: migrate copy: %w", err)
+	}
+	if err := dst.Sync(); err != nil {
+		dst.Close()
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, dstPath); err != nil {
+		return fmt.Errorf("wal: migrate rename: %w", err)
+	}
+	if err := fsutil.SyncDir(dir); err != nil {
+		return err
+	}
+	return os.Rename(legacy, legacy+".migrated")
 }
 
 // SetGroupCommit configures the group-commit linger window: a flush leader
@@ -158,12 +274,12 @@ func (m *Manager) SetCacheBlocks(n int) {
 	}
 }
 
-// Close flushes and closes the log.
+// Close flushes (honoring the sync policy) and closes the log.
 func (m *Manager) Close() error {
 	if err := m.Flush(m.NextLSN() - 1); err != nil {
 		return err
 	}
-	return m.f.Close()
+	return m.store.close()
 }
 
 // NextLSN returns the LSN the next appended record will receive.
@@ -298,7 +414,13 @@ func (m *Manager) force(lsn LSN, linger bool) error {
 
 		var err error
 		if len(buf) > 0 {
-			_, err = m.f.WriteAt(buf, int64(at-1))
+			// The write-then-sync pair is one log force: durability is not
+			// acknowledged (flushed is not advanced) until both complete, so
+			// under SyncData a commit's WaitDurable really means fdatasync'd.
+			err = m.store.writeAt(buf, int64(at-1))
+			if err == nil {
+				err = m.store.syncDirty()
+			}
 			m.Flushes.Add(1)
 		}
 
@@ -384,7 +506,7 @@ func (m *Manager) ReadDurable(buf []byte, off int64) (int, error) {
 	if off+int64(len(buf)) > durable {
 		buf = buf[:durable-off]
 	}
-	n, err := m.f.ReadAt(buf, off)
+	n, err := m.store.readAt(buf, off)
 	if err != nil && !(errors.Is(err, io.EOF) && n == len(buf)) {
 		return n, fmt.Errorf("wal: durable read at %d: %w", off, err)
 	}
@@ -414,7 +536,11 @@ func (m *Manager) AppendRaw(frames []byte) (LSN, error) {
 	at := m.next
 	m.mu.Unlock()
 
-	if _, err := m.f.WriteAt(frames, int64(at-1)); err != nil {
+	err := m.store.writeAt(frames, int64(at-1))
+	if err == nil {
+		err = m.store.syncDirty()
+	}
+	if err != nil {
 		m.mu.Lock()
 		m.ioErr = fmt.Errorf("wal: raw append: %w", err)
 		m.mu.Unlock()
@@ -446,8 +572,8 @@ func (m *Manager) Rewind(end LSN) error {
 	if end+1 > m.next {
 		return fmt.Errorf("wal: rewind to %v past end %v", end, m.next-1)
 	}
-	if err := m.f.Truncate(int64(end)); err != nil {
-		return fmt.Errorf("wal: rewind truncate: %w", err)
+	if err := m.store.truncateTo(int64(end)); err != nil {
+		return fmt.Errorf("wal: rewind: %w", err)
 	}
 	m.next = end + 1
 	m.tailAt = m.next
@@ -467,12 +593,15 @@ func (m *Manager) ObserveCommit(wallClock int64, lsn LSN) {
 	m.mu.Unlock()
 }
 
-// Truncate discards records below lsn (the retention boundary, §4.3). The
-// bytes are not physically reclaimed — like the paper's system we only
-// guarantee they are no longer readable — so LSN arithmetic stays stable.
+// Truncate discards records below lsn (the retention boundary, §4.3).
+// Logical truncation is immediate (reads below the boundary fail with
+// ErrTruncated); physically, every sealed segment wholly below the boundary
+// is unlinked — or renamed into the archive directory, where it remains
+// readable for replica reseeds and deep restores — in O(segments dropped),
+// never rewriting live segments. LSN arithmetic stays stable because
+// segment headers carry their base offsets.
 func (m *Manager) Truncate(before LSN) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if before > LSN(m.trunc.Load()) {
 		m.trunc.Store(uint64(before))
 		// Drop time samples that now point below the retention boundary.
@@ -484,8 +613,58 @@ func (m *Manager) Truncate(before LSN) error {
 			m.samples = append(m.samples[:0], m.samples[i:]...)
 		}
 	}
+	cut := LSN(m.trunc.Load())
+	m.mu.Unlock()
+	if cut <= 1 {
+		return nil
+	}
+	// Serialize persist-then-drop: concurrent truncations (tolerated
+	// auto-checkpoint races) must not let a stale cut overwrite a newer
+	// sidecar after the newer cut already dropped segments.
+	m.truncMu.Lock()
+	defer m.truncMu.Unlock()
+	if cut <= m.savedTrunc {
+		return nil // already persisted and applied at (or past) this cut
+	}
+	// Persist the logical cut before dropping anything: after a restart,
+	// scans resume from this record boundary, never from a (mid-record)
+	// segment base. Sidecar-ahead-of-floor is the safe crash ordering.
+	if err := m.store.saveTruncPoint(cut); err != nil {
+		return err
+	}
+	m.savedTrunc = cut
+	archived, removed, err := m.store.dropBefore(int64(cut - 1))
+	if err != nil {
+		return err
+	}
+	if archived+removed > 0 {
+		// Cached blocks may span the dropped segments; record reads at or
+		// above the truncation point never depend on sub-floor bytes, but
+		// drop the stale blocks rather than serve mixed real/zero content.
+		m.cache.clear()
+	}
 	return nil
 }
+
+// Segments reports the live segment files (base LSN, size, sealed/active).
+func (m *Manager) Segments() []SegmentInfo { return m.store.infos() }
+
+// SegmentFloor returns the lowest LSN physically present in the live store
+// — the first segment's base. It can sit below TruncationPoint (the
+// logical retention boundary is a record boundary; segments drop whole):
+// raw byte reads down to the floor are served, record reads below the
+// truncation point are not. Bytes below the floor exist only in the
+// retention archive, if one is configured.
+func (m *Manager) SegmentFloor() LSN { return LSN(m.store.startOff()) + 1 }
+
+// Sync reports the manager's log-force durability policy.
+func (m *Manager) Sync() SyncPolicy { return m.store.sync }
+
+// ArchiveDir returns the retention archive directory ("" = none).
+func (m *Manager) ArchiveDir() string { return m.store.archiveDir }
+
+// SegmentBytes returns the configured segment capacity.
+func (m *Manager) SegmentBytes() int64 { return m.store.segBytes }
 
 // Size returns the total log size in bytes, including the unflushed tail.
 func (m *Manager) Size() int64 {
@@ -550,7 +729,7 @@ func (m *Manager) readAt(buf []byte, off int64, countIO bool) (int, error) {
 	if diskLen > 0 {
 		// Bytes below memStart are durable and immutable once written, so
 		// reading outside the lock is safe even if a flush races with us.
-		rn, err := m.f.ReadAt(want[:diskLen], off)
+		rn, err := m.store.readAt(want[:diskLen], off)
 		if err != nil && !(errors.Is(err, io.EOF) && int64(rn) == diskLen) {
 			return rn, fmt.Errorf("wal: read at %d: %w", off, err)
 		}
@@ -578,7 +757,7 @@ func (m *Manager) Read(lsn LSN) (*Record, error) {
 	}
 	bodyLen := binary.LittleEndian.Uint32(hdr[:4])
 	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
-	if bodyLen == 0 || bodyLen > 64<<20 {
+	if bodyLen == 0 || bodyLen > MaxRecordBytes {
 		return nil, fmt.Errorf("wal: implausible record length %d at %v", bodyLen, lsn)
 	}
 	body := make([]byte, bodyLen)
@@ -639,48 +818,14 @@ func (m *Manager) Scan(from LSN, fn func(*Record) (bool, error)) error {
 	if t := m.truncPoint(); from < t {
 		from = t
 	}
-	off := int64(from - 1)
-	var hdr [frameHeader]byte
-	body := make([]byte, 0, 4096)
 	charged := int64(0)
-	for {
-		n, err := m.readAt(hdr[:], off, false)
-		if errors.Is(err, io.EOF) || n < frameHeader {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		bodyLen := int(binary.LittleEndian.Uint32(hdr[:4]))
-		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
-		if cap(body) < bodyLen {
-			body = make([]byte, bodyLen)
-		}
-		body = body[:bodyLen]
-		bn, err := m.readAt(body, off+frameHeader, false)
-		if err != nil && !errors.Is(err, io.EOF) {
-			return fmt.Errorf("wal: scan body at %d: %w", off, err)
-		}
-		if bn < bodyLen || crc32.ChecksumIEEE(body) != wantCRC {
-			// A torn record at the end of the log marks the end of the
-			// durable log (e.g. after a crash mid-append).
-			break
-		}
-		charged += int64(frameHeader + bodyLen)
-		rec, err := unmarshal(body)
-		if err != nil {
-			return err
-		}
-		rec.LSN = LSN(off + 1)
-		cont, err := fn(rec)
-		if err != nil {
-			return err
-		}
-		if !cont {
-			break
-		}
-		off += int64(frameHeader + bodyLen)
-	}
+	err := scanFrames(
+		func(b []byte, off int64) (int, error) { return m.readAt(b, off, false) },
+		from,
+		func(rec *Record) (bool, error) {
+			charged += int64(rec.ApproxSize())
+			return fn(rec)
+		})
 	m.dev.ChargeRead(charged, true)
-	return nil
+	return err
 }

@@ -100,7 +100,7 @@ func (r *ChainReader) Read(lsn LSN) (*Record, error) {
 	}
 	bodyLen := binary.LittleEndian.Uint32(hdr[:4])
 	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
-	if bodyLen == 0 || bodyLen > 64<<20 {
+	if bodyLen == 0 || bodyLen > MaxRecordBytes {
 		return nil, fmt.Errorf("wal: implausible record length %d at %v", bodyLen, lsn)
 	}
 	body, err := r.view(int64(lsn-1)+frameHeader, int(bodyLen))

@@ -335,6 +335,28 @@ func unmarshalInto(r *Record, src []byte) error {
 // frame layout: u32 bodyLen | u32 crc32(body) | body
 const frameHeader = 8
 
+// FrameHeaderSize is the byte size of a frame's fixed prefix (body length +
+// body CRC) — the framing every consumer of raw log bytes shares.
+const FrameHeaderSize = frameHeader
+
+// MaxRecordBytes bounds a single record body; a larger claimed length marks
+// a corrupt or torn frame everywhere frames are parsed.
+const MaxRecordBytes = 64 << 20
+
+// FrameSize returns the total framed size (header + body) of the frame
+// whose header begins buf, when enough bytes are present to tell and the
+// claimed length is plausible. It does not validate the body.
+func FrameSize(buf []byte) (int, bool) {
+	if len(buf) < frameHeader {
+		return 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(buf[:4]))
+	if n == 0 || n > MaxRecordBytes {
+		return 0, false
+	}
+	return frameHeader + n, true
+}
+
 func frame(dst []byte, r *Record) []byte {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
@@ -362,7 +384,7 @@ func NextFrame(buf []byte) (body []byte, size int, ok bool, err error) {
 	}
 	bodyLen := int(binary.LittleEndian.Uint32(buf[:4]))
 	wantCRC := binary.LittleEndian.Uint32(buf[4:])
-	if bodyLen == 0 || bodyLen > 64<<20 {
+	if bodyLen == 0 || bodyLen > MaxRecordBytes {
 		return nil, 0, false, fmt.Errorf("%w: implausible length %d", ErrFrameCorrupt, bodyLen)
 	}
 	if len(buf) < frameHeader+bodyLen {

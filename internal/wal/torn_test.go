@@ -6,6 +6,31 @@ import (
 	"testing"
 )
 
+// tearLogAt truncates the store in dir so exactly the first `keep` logical
+// log bytes survive — segments past the cut are deleted, the one containing
+// it is truncated mid-file. This simulates a crash torn at an arbitrary
+// byte, including inside a sealed segment.
+func tearLogAt(t *testing.T, dir string, keep int64) {
+	t.Helper()
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		base := int64(s.Base - 1)
+		switch {
+		case base >= keep:
+			if err := os.Remove(s.Path); err != nil {
+				t.Fatal(err)
+			}
+		case base+s.Bytes > keep:
+			if err := os.Truncate(s.Path, keep-base+segHeaderSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
 // appendCommits writes n small records and flushes, returning the end LSN
 // of each record (the boundary after it).
 func appendCommits(t *testing.T, m *Manager, n int) []LSN {
@@ -37,10 +62,8 @@ func TestScanStopsAtTornTailAfterReopen(t *testing.T) {
 	ends := appendCommits(t, m, 10)
 	m.Close()
 
-	// Tear the file 5 bytes into the last record.
-	if err := os.Truncate(path, int64(ends[8])+5); err != nil {
-		t.Fatal(err)
-	}
+	// Tear the log 5 bytes into the last record.
+	tearLogAt(t, path, int64(ends[8])+5)
 
 	m2, err := Open(path, nil)
 	if err != nil {
@@ -71,9 +94,7 @@ func TestRewindTruncatesTornTailAndResumes(t *testing.T) {
 	}
 	ends := appendCommits(t, m, 6)
 	m.Close()
-	if err := os.Truncate(path, int64(ends[4])+3); err != nil {
-		t.Fatal(err)
-	}
+	tearLogAt(t, path, int64(ends[4])+3)
 
 	m2, err := Open(path, nil)
 	if err != nil {

@@ -340,7 +340,7 @@ func TestScanStopsAtTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mm.Close()
-	if _, err := mm.f.WriteAt([]byte{0xFF, 0xFF, 0xFF}, int64(l2-1)+frameHeader+3); err != nil {
+	if err := mm.store.writeAt([]byte{0xFF, 0xFF, 0xFF}, int64(l2-1)+frameHeader+3); err != nil {
 		t.Fatal(err)
 	}
 	var seen []LSN
