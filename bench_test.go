@@ -328,6 +328,26 @@ func BenchmarkReplication(b *testing.B) {
 	}
 }
 
+// BenchmarkReplicationCascade measures the cascading tier (primary → R1 →
+// R2): leaf catch-up bandwidth through two hops, per-hop steady-state lag
+// under TPC-C load, and the session-routed (read-your-writes) as-of loop
+// served by the tree.
+func BenchmarkReplicationCascade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.ReplicationCascade(b.TempDir(), 1500, 4, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Tpm, "tpm-under-cascade")
+		b.ReportMetric(res.ChainApplyMBps, "chain-apply-MBps")
+		b.ReportMetric(float64(res.R1LagAvgBytes), "r1-lag-avg-bytes")
+		b.ReportMetric(float64(res.R2LagAvgBytes), "r2-lag-avg-bytes")
+		b.ReportMetric(float64(res.R2LagMaxBytes), "r2-lag-max-bytes")
+		b.ReportMetric(float64(res.RoutedStandby), "routed-standby")
+		b.ReportMetric(float64(res.RoutedPrimary), "routed-primary")
+	}
+}
+
 // BenchmarkAsOfQuery measures the as-of snapshot read path end to end:
 // snapshot creation latency, point lookups against a cold side file (every
 // first page touch rewinds through the log chain), point lookups against a

@@ -34,6 +34,7 @@ func main() {
 
 		// -fig repl: log-shipping replication (as-of load offloaded to standbys).
 		replicas = flag.Int("replicas", 1, "warm standbys for -fig repl")
+		cascadeF = flag.Bool("cascade", false, "add the cascading arm to -fig repl: primary → R1 → R2 with session-routed reads")
 
 		// -fig commit: group-commit pipeline A/B.
 		committers = flag.Int("committers", 8, "concurrent committers for -fig commit")
@@ -121,10 +122,18 @@ func main() {
 	}
 
 	if wants("repl") {
-		fmt.Printf("\n== Replication: §6.3 as-of load on %d warm standby(s) vs the primary (%d txns, %d clients) ==\n",
-			*replicas, *txns, *clients)
-		if _, err := exp.Replication(dir+"/repl", *txns, *clients, *replicas, os.Stdout); err != nil {
-			fatal(err)
+		if *cascadeF {
+			fmt.Printf("\n== Replication cascade: primary → R1 → R2, session-routed reads (%d txns, %d clients) ==\n",
+				*txns, *clients)
+			if _, err := exp.ReplicationCascade(dir+"/cascade", *txns, *clients, os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Printf("\n== Replication: §6.3 as-of load on %d warm standby(s) vs the primary (%d txns, %d clients) ==\n",
+				*replicas, *txns, *clients)
+			if _, err := exp.Replication(dir+"/repl", *txns, *clients, *replicas, os.Stdout); err != nil {
+				fatal(err)
+			}
 		}
 	}
 

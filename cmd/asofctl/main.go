@@ -27,11 +27,24 @@
 //	                                          log to replicas on ADDR
 //	asofctl -db DIR replica ADDR              run DIR as a warm standby fed
 //	                                          from the primary at ADDR
+//	asofctl -db DIR cascade UPSTREAM LISTEN   run DIR as a mid-tier standby:
+//	                                          fed from UPSTREAM, re-shipping
+//	                                          its local log to downstream
+//	                                          replicas on LISTEN (chains
+//	                                          compose: primary → R1 → R2 …)
 //	asofctl repl-status ADDR                  per-replica shipped/applied/
-//	                                          durable LSNs and lag
+//	                                          durable/retained LSNs and lag;
+//	                                          cascades render as a tree
 //	asofctl -db DIR count-asof-standby RFC3339 TABLE
 //	                                          count rows as of a past time
 //	                                          on a standby directory
+//	asofctl route -at RFC3339 -table T [-token LSN] [-primary DIR] DIR...
+//	                                          route a read-your-writes read
+//	                                          across standby directories:
+//	                                          serve from the least-lagged
+//	                                          standby whose applied LSN has
+//	                                          reached the session token,
+//	                                          falling back to -primary
 package main
 
 import (
@@ -74,7 +87,17 @@ func main() {
 		if *dbdir == "" {
 			fatal(fmt.Errorf("replica requires -db"))
 		}
-		runReplica(*dbdir, args[1])
+		runReplica(*dbdir, args[1], "")
+		return
+	case "cascade":
+		need(args, 3)
+		if *dbdir == "" {
+			fatal(fmt.Errorf("cascade requires -db"))
+		}
+		runReplica(*dbdir, args[1], args[2])
+		return
+	case "route":
+		routeRead(args[1:])
 		return
 	case "count-asof-standby":
 		need(args, 3)
@@ -246,19 +269,30 @@ func servePrimary(dir, addr string) {
 }
 
 // runReplica opens (creating if needed) dir as a warm standby fed from the
-// primary at addr, printing its own lag once a second. It reconnects on
-// stream errors.
-func runReplica(dir, addr string) {
+// upstream at addr, printing its own lag once a second, and — when
+// listenAddr is non-empty — re-shipping its local log to downstream
+// replicas on listenAddr (the cascading mid-tier role; hops compose into
+// arbitrary fan-out trees). It reconnects on stream errors.
+func runReplica(dir, addr, listenAddr string) {
 	rep, err := repl.OpenReplica(dir, repl.ReplicaOptions{})
 	if err != nil {
 		fatal(err)
 	}
 	defer rep.Close()
+	if listenAddr != "" {
+		cascade := rep.ShipLocal(repl.ShipperOptions{})
+		lis, err := repl.ListenAndServe(listenAddr, cascade)
+		if err != nil {
+			fatal(err)
+		}
+		defer lis.Close()
+		fmt.Println("cascading standby re-shipping on", lis.Addr())
+	}
 	go func() {
 		for {
 			time.Sleep(time.Second)
 			st := rep.Status()
-			fmt.Printf("applied=%d durable=%d primary=%d lag=%dB/%s last-commit=%s\n",
+			fmt.Printf("applied=%d durable=%d upstream=%d lag=%dB/%s last-commit=%s\n",
 				st.Applied, st.LocalDurable, st.PrimaryDurable, st.LagBytes,
 				st.LagTime.Round(time.Millisecond), fmtTime(st.LastCommitAt))
 		}
@@ -280,9 +314,69 @@ func runReplica(dir, addr string) {
 			// this replica needs (reseed from a backup, or start fresh).
 			fatal(err)
 		}
+		if errors.Is(err, repl.ErrUpstreamPromoted) {
+			// Deterministic fence: the upstream standby was promoted and its
+			// log forks past what we hold. Re-point this replica (run it
+			// again against the promoted node or the old primary) or leave
+			// it serving its applied horizon.
+			fatal(err)
+		}
 		fmt.Fprintln(os.Stderr, "asofctl: stream:", err, "- reconnecting in 1s")
 		time.Sleep(time.Second)
 	}
+}
+
+// routeRead is the read-your-writes routing demo over offline standby
+// directories: pick the least-lagged standby whose applied LSN has reached
+// the session token and run a count-as-of there, falling back to -primary
+// when every standby lags behind the token.
+func routeRead(args []string) {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	at := fs.String("at", "", "as-of time (RFC3339, required)")
+	table := fs.String("table", "", "table to count (required)")
+	token := fs.Uint64("token", 0, "session token: the durable commit LSN of the session's last write")
+	primaryDir := fs.String("primary", "", "primary database directory (fallback target)")
+	wait := fs.Duration("wait", 2*time.Second, "how long to wait for a standby to reach the token")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if *at == "" || *table == "" || fs.NArg() == 0 {
+		fatal(fmt.Errorf("route requires -at, -table and at least one standby directory"))
+	}
+	when := parseTime(*at)
+
+	var primary *asofdb.DB
+	if *primaryDir != "" {
+		db, err := asofdb.Open(*primaryDir, asofdb.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+		primary = db
+	}
+	rt := repl.NewRouter(primary, repl.RouterOptions{SnapshotWait: *wait})
+	for _, dir := range fs.Args() {
+		rep, err := repl.OpenReplica(dir, repl.ReplicaOptions{})
+		if err != nil {
+			fatal(fmt.Errorf("standby %s: %w", dir, err))
+		}
+		defer rep.Close()
+		rt.AddStandby(dir, rep)
+	}
+
+	sess := &repl.Session{}
+	sess.Observe(wal.LSN(*token))
+	snap, route, err := rt.SnapshotAsOf(sess, when)
+	if err != nil {
+		fatal(err)
+	}
+	defer snap.Close()
+	n, err := snap.CountRows(*table, nil, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("served by %s (applied=%d, token=%d): %d rows as of %s; session token now %d\n",
+		route.Name, route.AppliedLSN, *token, n, when.UTC().Format(time.RFC3339), sess.Token())
 }
 
 // countOnStandby mounts an as-of snapshot on a standby directory — no
@@ -331,12 +425,25 @@ func replStatus(addr string) {
 		fmt.Println("no replicas connected")
 		return
 	}
-	fmt.Printf("%-3s %-12s %-12s %-12s %-12s %-12s %-10s %-10s %s\n",
-		"id", "primary", "shipped", "applied", "durable", "retained", "lag-bytes", "lag-secs", "last-commit")
+	fmt.Printf("%-12s %-12s %-12s %-12s %-12s %-12s %-10s %-10s %s\n",
+		"id", "upstream", "shipped", "applied", "durable", "retained", "lag-bytes", "lag", "last-commit")
+	printReplTree(sts, "")
+}
+
+// printReplTree renders a shipper status report, recursing into each
+// subscriber's own downstream fan-out (cascading standbys) with one level
+// of indentation per hop. "upstream" is each hop's source durable LSN —
+// the primary at depth 0, the mid-tier standby below.
+func printReplTree(sts []repl.SubscriberStatus, indent string) {
 	for _, st := range sts {
-		fmt.Printf("%-3d %-12d %-12d %-12d %-12d %-12d %-10d %-10.1f %s\n",
-			st.ID, st.PrimaryDurable, st.Shipped, st.Applied, st.ReplicaDurable,
-			st.Retained, st.LagBytes, st.LagSeconds, fmtTime(st.LastCommitAt))
+		lag := fmt.Sprintf("%.1fs", st.LagSeconds)
+		if st.Idle {
+			lag = "idle"
+		}
+		fmt.Printf("%-12s %-12d %-12d %-12d %-12d %-12d %-10d %-10s %s\n",
+			fmt.Sprintf("%s%d", indent, st.ID), st.PrimaryDurable, st.Shipped, st.Applied,
+			st.ReplicaDurable, st.Retained, st.LagBytes, lag, fmtTime(st.LastCommitAt))
+		printReplTree(st.Downstream, indent+"└ ")
 	}
 }
 

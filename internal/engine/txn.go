@@ -54,6 +54,13 @@ type Txn struct {
 	// carry wal.FlagNTA (see that flag's doc).
 	ntaDepth int
 
+	// commitLSN is the LSN of the commit record once Commit returns — the
+	// read-your-writes session token: any node (primary or standby) whose
+	// applied/durable position is at or past it observes this transaction's
+	// effects. NilLSN until committed, and for read-only transactions, which
+	// log no commit record and advance no session.
+	commitLSN wal.LSN
+
 	// rec is a scratch record reused by the slot-operation hot path
 	// (InsertRec/UpdateRec/DeleteRec). Safe because a transaction runs on
 	// one goroutine and Append serializes the record into the log tail
@@ -79,6 +86,13 @@ func (db *DB) Begin() (*Txn, error) {
 
 // ID returns the transaction id.
 func (tx *Txn) ID() uint64 { return tx.id }
+
+// CommitLSN returns the durable LSN of the transaction's commit record —
+// the read-your-writes session token (repl.Session.Observe): a read routed
+// to any node whose applied LSN has reached it is guaranteed to see this
+// transaction. NilLSN before Commit returns and for read-only transactions
+// (they log nothing, so they constrain no later read).
+func (tx *Txn) CommitLSN() wal.LSN { return tx.commitLSN }
 
 func (tx *Txn) ensureBegun() error {
 	if tx.begun.Load() {
@@ -443,6 +457,7 @@ func (tx *Txn) Commit() error {
 		if err := tx.endDurable(&tx.ctlRec); err != nil {
 			return err
 		}
+		tx.commitLSN = tx.ctlRec.LSN
 	}
 	tx.state.Store(int32(txnCommitted))
 	tx.finish()

@@ -38,4 +38,22 @@
 // rebuilt with ReseedFromBackup — backup image as data.db, archived
 // segments as the local log, apply state positioned at the backup
 // checkpoint — after which the stream bridges the rest.
+//
+// Replication cascades: a Replica hosts a Shipper over its own local log
+// (ShipLocal), and because that log is a byte-identical copy of the
+// upstream's — AppendRaw ingest advances the durable LSN through the same
+// FlushNotify hook a primary's group commit uses — downstream replicas
+// chain off a mid-tier standby (primary → R1 → R2 → ...) with per-hop
+// lag/retained-LSN status propagated up the tree via ack piggybacks.
+// Promoting a mid-tier node fences its children deterministically
+// (KindPromoted, before the log forks); children re-point at the promoted
+// node or are orphaned at their applied horizon.
+//
+// Router + Session supply the read-side guarantees that make offloaded
+// as-of reads usable by applications: commits yield a token (the durable
+// commit LSN, Txn.CommitLSN), and a token-routed read is served only by a
+// standby — at any cascade tier — whose applied LSN has reached the token,
+// falling back to the primary when the whole fleet lags. Sessions fold
+// served split LSNs back into the token, so reads are monotonic across
+// arbitrary routing.
 package repl

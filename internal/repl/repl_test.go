@@ -449,6 +449,60 @@ func TestShipperStatus(t *testing.T) {
 	}
 }
 
+// TestShipperStatusIdleCaughtUp pins the idle-stream lag semantics: a
+// caught-up subscriber on a primary that stopped committing reports
+// "idle, caught up" (Idle=true, LagSeconds=0) — heartbeat clock beacons
+// keep the acked positions fresh, so the growing distance from the last
+// applied commit is idle time, not lag. Real lag (deferred apply under
+// commit traffic) still reports.
+func TestShipperStatusIdleCaughtUp(t *testing.T) {
+	c := newCluster(t, engine.Options{}, ReplicaOptions{})
+	mustExec(t, c.prim, func(tx *engine.Txn) error { return tx.CreateTable(testSchema("idle")) })
+	mustExec(t, c.prim, func(tx *engine.Txn) error { return tx.Insert("idle", testRow(1, "a", 1)) })
+	c.waitCaughtUp()
+	waitStatus := func(want func(SubscriberStatus) bool) SubscriberStatus {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if sts := c.ship.Status(); len(sts) == 1 && want(sts[0]) {
+				return sts[0]
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("status never converged: %+v", c.ship.Status())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitStatus(func(st SubscriberStatus) bool { return st.Applied == st.PrimaryDurable })
+
+	// A long idle stretch: the last applied commit recedes into the past,
+	// but the replica is not one nanosecond behind.
+	c.clock.Advance(30 * time.Second)
+	st := waitStatus(func(st SubscriberStatus) bool { return st.Applied == st.PrimaryDurable })
+	if !st.Idle {
+		t.Fatalf("caught-up idle stream not reported Idle: %+v", st)
+	}
+	if st.LagSeconds != 0 {
+		t.Fatalf("idle stream reports %.1fs of phantom lag", st.LagSeconds)
+	}
+	if st.LastCommitAt.IsZero() {
+		t.Fatal("idle status should still carry the last applied commit time")
+	}
+
+	// Genuine lag (deferred apply + fresh commits) still reports.
+	c.rep.PauseApply()
+	mustExec(t, c.prim, func(tx *engine.Txn) error { return tx.Insert("idle", testRow(2, "b", 2)) })
+	c.clock.Advance(5 * time.Second)
+	st = waitStatus(func(st SubscriberStatus) bool { return st.Applied < st.PrimaryDurable })
+	if st.Idle {
+		t.Fatalf("lagging subscriber reported Idle: %+v", st)
+	}
+	if st.LagSeconds <= 0 {
+		t.Fatalf("lagging subscriber reports no wall-clock lag: %+v", st)
+	}
+	c.rep.ResumeApply()
+}
+
 // TestTCPTransport streams a real workload over a loopback TCP connection.
 func TestTCPTransport(t *testing.T) {
 	clock := vclock.New(time.Time{})

@@ -2,6 +2,7 @@ package repl
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -69,6 +70,16 @@ func (o ReplicaOptions) withDefaults() ReplicaOptions {
 // Retrying cannot succeed — the replica must be reseeded.
 var ErrSubscriptionRejected = errors.New("repl: primary rejected subscription")
 
+// ErrUpstreamPromoted reports that the standby this replica was streaming
+// from has been promoted: the upstream's log forks after the promotion
+// point, and the session was fenced before a single post-fork byte could
+// ship. Every byte this replica holds is on the pre-fork timeline (shared
+// by the old primary and the promoted node alike), so the operator decides
+// deterministically: re-point the replica at the promoted node (or the old
+// primary) with a fresh Run — resubscription resumes exactly at its local
+// log end — or orphan it serving its applied horizon.
+var ErrUpstreamPromoted = errors.New("repl: upstream standby was promoted; its log forks past the promotion point")
+
 // Replica is a warm standby: a standby engine plus the standing redo loop
 // that keeps it current from a shipped log stream. The replica's local log
 // is a byte-identical copy of the primary's (same LSNs), so the entire
@@ -98,9 +109,10 @@ type Replica struct {
 	appliedBytes   atomic.Int64
 	appliedRecords atomic.Int64
 
-	lastCkptAt   wal.LSN // applied position of the last replica checkpoint
-	lastMarkAt   wal.LSN // applied position of the last ATT mark
-	ackedBatches int64   // batches applied as of the last ack sent
+	lastCkptAt   wal.LSN   // applied position of the last replica checkpoint
+	lastMarkAt   wal.LSN   // applied position of the last ATT mark
+	ackedBatches int64     // batches applied as of the last ack sent
+	statusAckAt  time.Time // wall clock of the last status-carrying ack
 
 	runMu    sync.Mutex // serializes Run sessions and Promote
 	promoted atomic.Bool
@@ -117,6 +129,16 @@ type Replica struct {
 	// runMu.
 	connMu sync.Mutex
 	conn   Conn
+
+	// cascade is the shipper this standby hosts over its *local* log (nil
+	// until ShipLocal): the cascading-replication hop. Ingest (AppendRaw)
+	// advances the local durable LSN through the same FlushNotify path the
+	// primary's group commit uses, so downstream subscribers ride this
+	// node's ingest boundaries exactly as a first-tier replica rides the
+	// primary's flush boundaries. Promote fences it before forking the log;
+	// Close closes it before the engine.
+	cascadeMu sync.Mutex
+	cascade   *Shipper
 }
 
 // OpenReplica opens (creating if needed) a standby in dir. A directory
@@ -186,11 +208,15 @@ func (r *Replica) DB() *engine.DB { return r.db }
 func (r *Replica) AppliedLSN() wal.LSN { return r.db.AppliedLSN() }
 
 // Close shuts the standby down (pages flushed, apply state persisted),
-// ending any active streaming session first. A promoted replica's engine
-// belongs to the caller and is not closed here.
+// ending any active streaming session — and any hosted cascade shipper's
+// downstream sessions — first. A promoted replica's engine belongs to the
+// caller and is not closed here.
 func (r *Replica) Close() error {
 	if r.closed.Swap(true) || r.promoted.Load() {
 		return nil
+	}
+	if s := r.cascadeShipper(); s != nil {
+		s.Close() // downstream sessions end before the local log goes away
 	}
 	r.connMu.Lock() // closed is set; any conn registered before or after this point gets kicked or refused
 	if r.conn != nil {
@@ -203,6 +229,34 @@ func (r *Replica) Close() error {
 		return err
 	}
 	return r.db.Close()
+}
+
+// ShipLocal returns (creating on first call; opts are ignored after that)
+// the shipper that re-ships this standby's local log to downstream
+// replicas — the cascading-standby hop. The local log is a byte-identical
+// copy of the upstream's, so a downstream replica of this node is
+// indistinguishable from a replica of the primary: same LSNs, same chain
+// walks, same as-of results, one more hop of (observable, bounded) lag.
+// Fan-out trees built this way scale log distribution past the primary's
+// NIC/CPU: the primary ships each byte once per first-tier standby, and
+// each tier pays only for its own children.
+//
+// The shipper's lifecycle is owned by the replica: Promote fences it (with
+// a KindPromoted frame to every downstream session) before the local log
+// forks, and Close closes it before the engine shuts down.
+func (r *Replica) ShipLocal(opts ShipperOptions) *Shipper {
+	r.cascadeMu.Lock()
+	defer r.cascadeMu.Unlock()
+	if r.cascade == nil {
+		r.cascade = NewShipper(r.db, opts)
+	}
+	return r.cascade
+}
+
+func (r *Replica) cascadeShipper() *Shipper {
+	r.cascadeMu.Lock()
+	defer r.cascadeMu.Unlock()
+	return r.cascade
 }
 
 func (r *Replica) statePath() string { return filepath.Join(r.dir, "replica.state") }
@@ -257,6 +311,10 @@ func (r *Replica) Run(conn Conn) error {
 	switch hello.Kind {
 	case KindError:
 		return fmt.Errorf("%w: %s", ErrSubscriptionRejected, hello.Payload)
+	case KindPromoted:
+		// The promotion fence can race the subscribe handshake; surface the
+		// same typed error as mid-stream so callers don't retry forever.
+		return r.upstreamPromoted(hello.From)
 	case KindHello:
 	default:
 		return fmt.Errorf("repl: expected hello, got %v", hello.Kind)
@@ -307,6 +365,8 @@ func (r *Replica) Run(conn Conn) error {
 			}
 		case KindError:
 			return fmt.Errorf("repl: primary error: %s", f.Payload)
+		case KindPromoted:
+			return r.upstreamPromoted(f.From)
 		default:
 			return fmt.Errorf("repl: unexpected %v frame mid-stream", f.Kind)
 		}
@@ -315,19 +375,59 @@ func (r *Replica) Run(conn Conn) error {
 		// churn of a busy stream for no added information.
 		if f.Kind == KindHeartbeat || r.appliedBatches.Load()-r.ackedBatches >= 8 {
 			r.ackedBatches = r.appliedBatches.Load()
-			if err := r.sendAck(conn); err != nil {
+			if err := r.sendAck(conn, f.Kind == KindHeartbeat); err != nil {
 				return err
 			}
 		}
 	}
 }
 
-func (r *Replica) sendAck(conn Conn) error {
+// upstreamPromoted maps a KindPromoted fence into the typed error, with
+// the safe re-point targets spelled out for the fork geometry at hand. The
+// usual case (this replica at or behind the fork) may follow either
+// timeline; a replica *ahead* of the fork — possible when the mid-tier
+// crashed, lost its buffered tail, and was promoted before regrowing past
+// this replica — holds old-timeline bytes at LSNs the promoted node will
+// reassign, so resubscribing to the promoted node would splice timelines
+// into a CRC-valid but divergent local log. It must follow the old
+// primary's timeline or be reseeded.
+func (r *Replica) upstreamPromoted(fork wal.LSN) error {
+	if end := r.db.Log().NextLSN() - 1; end > fork {
+		return fmt.Errorf("%w (fork at %v but this replica holds %v — it is AHEAD of the promoted node's fork; "+
+			"re-point it at the old primary's timeline or reseed it, never at the promoted node)",
+			ErrUpstreamPromoted, fork, end)
+	}
+	return fmt.Errorf("%w (fork begins after %v; resubscribe to the promoted node or the old primary, or orphan this replica)",
+		ErrUpstreamPromoted, fork)
+}
+
+// statusAckEvery rate-limits the downstream-status piggyback on acks: the
+// per-batch acks of a busy stream are the apply hot path, and the status
+// is advisory monitoring nobody renders faster than this. Wall-clock (not
+// the injected engine clock): it bounds real marshaling work per real
+// second.
+const statusAckEvery = 500 * time.Millisecond
+
+// sendAck reports apply progress. A cascading hop piggybacks its own
+// hosted shipper's status, so every ancestor's Status shows the subtree
+// rooted here — on heartbeat acks (idle stream) and at most once per
+// statusAckEvery under load, where heartbeats stop flowing because every
+// select finds bytes to ship first. sendAck runs only on the Run
+// goroutine, so statusAckAt needs no lock.
+func (r *Replica) sendAck(conn Conn, heartbeat bool) error {
+	var payload []byte
+	if s := r.cascadeShipper(); s != nil && (heartbeat || time.Since(r.statusAckAt) >= statusAckEvery) {
+		if sts := s.Status(); len(sts) > 0 {
+			payload, _ = json.Marshal(sts)
+			r.statusAckAt = time.Now()
+		}
+	}
 	return conn.Send(&Frame{
 		Kind:      KindAck,
 		From:      r.db.AppliedLSN(),
 		Durable:   r.db.Log().FlushedLSN(),
 		WallClock: r.lastCommitWC.Load(),
+		Payload:   payload,
 	})
 }
 
@@ -717,6 +817,16 @@ func (r *Replica) Promote() (*engine.DB, error) {
 	defer r.runMu.Unlock()
 	if r.promoted.Load() {
 		return r.db, nil
+	}
+	// Fence the cascade before the log forks: downstream sessions are told
+	// the promotion point (KindPromoted) and closeWith waits for every
+	// stream loop to exit, so no child can ever receive a post-fork byte —
+	// everything a child holds afterwards is on the shared pre-fork
+	// timeline, which is what makes re-pointing it at the promoted node (a
+	// fresh Shipper over the returned engine) or back at the old primary an
+	// exact, deterministic resubscription.
+	if s := r.cascadeShipper(); s != nil {
+		s.closeWith(&Frame{Kind: KindPromoted, From: r.db.Log().NextLSN() - 1})
 	}
 	r.db.EnsureTxnIDAfter(r.st.MaxTxn)
 	if err := r.db.Promote(r.st.Inflight()); err != nil {

@@ -1,0 +1,307 @@
+package repl
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/engine"
+)
+
+// routerFixture is a primary + one routable standby + a Router whose wait
+// deadline runs on the shared injected clock, so the fallback decision is
+// asserted against exact virtual time instead of sleeps.
+type routerFixture struct {
+	*cluster
+	rt   *Router
+	sess *Session
+}
+
+// advanceUntil keeps moving the virtual clock forward until done closes —
+// the deterministic way to expire a Pick deadline that a concurrently
+// scheduled goroutine computes from the same clock: however late the
+// waiter starts, the clock soon passes its deadline, and the waiter can
+// only return by the rules the assertion checks.
+func advanceUntil(c vclockAdvancer, done <-chan struct{}, step time.Duration) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(5 * time.Millisecond):
+			c.Advance(step)
+		}
+	}
+}
+
+type vclockAdvancer interface {
+	Advance(time.Duration) time.Time
+}
+
+func newRouterFixture(t *testing.T, wait time.Duration) *routerFixture {
+	c := newCluster(t, engine.Options{}, ReplicaOptions{})
+	rt := NewRouter(c.prim, RouterOptions{
+		SnapshotWait: wait,
+		Clock:        clock.Func(c.clock.Now),
+	})
+	rt.AddStandby("s1", c.rep)
+	return &routerFixture{cluster: c, rt: rt, sess: &Session{}}
+}
+
+// commitRows inserts [lo,hi) and folds the commit token into the session.
+func (f *routerFixture) commitRows(t *testing.T, table string, lo, hi int) {
+	t.Helper()
+	tx, err := f.prim.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := lo; i < hi; i++ {
+		if err := tx.Insert(table, testRow(i, "r", i)); err != nil {
+			tx.Rollback()
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.CommitLSN() == 0 {
+		t.Fatal("commit surfaced no LSN token")
+	}
+	f.sess.Observe(tx.CommitLSN())
+}
+
+// TestRouterReadYourWrites: a read routed with the session's commit token
+// is served by the standby once it has applied the commit, and the write
+// is visible — never a pre-token state.
+func TestRouterReadYourWrites(t *testing.T) {
+	f := newRouterFixture(t, 10*time.Second)
+	mustExec(t, f.prim, func(tx *engine.Txn) error { return tx.CreateTable(testSchema("ryw")) })
+	f.commitRows(t, "ryw", 0, 100)
+	f.waitCaughtUp()
+	f.clock.Advance(time.Second)
+
+	snap, route, err := f.rt.SnapshotAsOf(f.sess, f.clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if route.Primary || route.Name != "s1" {
+		t.Fatalf("caught-up standby should serve the read, routed to %+v", route)
+	}
+	if route.AppliedLSN < f.sess.Token() {
+		t.Fatalf("route applied %v below token %v", route.AppliedLSN, f.sess.Token())
+	}
+	n, err := snap.CountRows("ryw", nil, nil)
+	if err != nil || n != 100 {
+		t.Fatalf("standby read: n=%d err=%v, want the session's 100 rows", n, err)
+	}
+	// Monotonic reads: the served split joined the token.
+	if f.sess.Token() < snap.SplitLSN() {
+		t.Fatalf("session token %v did not absorb split %v", f.sess.Token(), snap.SplitLSN())
+	}
+}
+
+// TestRouterFallsBackToPrimary: when every standby lags past SnapshotWait,
+// the router falls back to the primary — which trivially satisfies the
+// token — instead of serving pre-token state or hanging. The deadline is
+// measured on the injected clock: the fallback can only be taken once
+// virtual time passes it.
+func TestRouterFallsBackToPrimary(t *testing.T) {
+	f := newRouterFixture(t, 5*time.Second)
+	mustExec(t, f.prim, func(tx *engine.Txn) error { return tx.CreateTable(testSchema("fb")) })
+	f.commitRows(t, "fb", 0, 50)
+	f.waitCaughtUp()
+	f.clock.Advance(time.Second)
+
+	// The standby holds still while the session writes more: its applied
+	// LSN can no longer satisfy the token.
+	f.rep.PauseApply()
+	f.commitRows(t, "fb", 50, 120)
+	if f.rep.AppliedLSN() >= f.sess.Token() {
+		t.Fatal("pause did not create the lag this test needs")
+	}
+
+	// Pick parks until virtual time passes the deadline.
+	picked := make(chan Route, 1)
+	pickErr := make(chan error, 1)
+	pickDone := make(chan struct{})
+	go func() {
+		defer close(pickDone)
+		r, err := f.rt.Pick(f.sess.Token())
+		pickErr <- err
+		picked <- r
+	}()
+	select {
+	case <-pickDone:
+		t.Fatal("Pick returned before the virtual deadline passed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	advanceUntil(f.clock, pickDone, time.Second)
+	if err := <-pickErr; err != nil {
+		t.Fatal(err)
+	}
+	route := <-picked
+	if !route.Primary {
+		t.Fatalf("lagging fleet must fall back to the primary, got %+v", route)
+	}
+
+	// The full routed read on the fallback path sees the session's writes.
+	// (Its Pick parks on the virtual deadline too, so it runs concurrently
+	// with the clock advance that expires it.)
+	at := f.clock.Now()
+	readDone := make(chan struct{})
+	var n int
+	var route2 Route
+	var readErr error
+	go func() {
+		defer close(readDone)
+		snap, r, err := f.rt.SnapshotAsOf(f.sess, at)
+		route2 = r
+		if err != nil {
+			readErr = err
+			return
+		}
+		defer snap.Close()
+		n, readErr = snap.CountRows("fb", nil, nil)
+	}()
+	advanceUntil(f.clock, readDone, time.Second)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if !route2.Primary {
+		t.Fatalf("routed read should have fallen back, got %+v", route2)
+	}
+	if n != 120 {
+		t.Fatalf("fallback read: n=%d, want all 120 rows", n)
+	}
+
+	// Resume: once the standby reaches the token the router prefers it
+	// again (reads scale out, the primary is the last resort).
+	f.rep.ResumeApply()
+	f.waitCaughtUp()
+	f.clock.Advance(time.Second)
+	snap, route3, err := f.rt.SnapshotAsOf(f.sess, f.clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if route3.Primary {
+		t.Fatal("caught-up standby should take reads back from the primary")
+	}
+	if n, err := snap.CountRows("fb", nil, nil); err != nil || n != 120 {
+		t.Fatalf("standby read after resume: n=%d err=%v", n, err)
+	}
+}
+
+// TestRouterMonotonicReadsAcrossStandbys: a session whose token came from a
+// read on a fresh standby is never routed to a stale one — the read waits
+// and falls back to the primary instead of going backwards in time.
+func TestRouterMonotonicReads(t *testing.T) {
+	f := newRouterFixture(t, time.Second)
+	mustExec(t, f.prim, func(tx *engine.Txn) error { return tx.CreateTable(testSchema("mono")) })
+	f.commitRows(t, "mono", 0, 60)
+	f.waitCaughtUp()
+	f.clock.Advance(time.Second)
+
+	// Read 1 on the fresh standby advances the token to its split.
+	snap, route, err := f.rt.SnapshotAsOf(f.sess, f.clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Close()
+	if route.Primary {
+		t.Fatal("first read should land on the standby")
+	}
+	tokenAfterRead := f.sess.Token()
+
+	// The standby goes stale relative to the session: it pauses below the
+	// session's next writes.
+	f.rep.PauseApply()
+	f.commitRows(t, "mono", 60, 90)
+
+	// Read 2 must not observe fewer rows than the session has seen+written:
+	// with the only standby stale, it waits out the (virtual) deadline and
+	// lands on the primary.
+	done := make(chan struct{})
+	var n int
+	var rerr error
+	var route2 Route
+	at := f.clock.Now()
+	go func() {
+		defer close(done)
+		snap2, r2, err := f.rt.SnapshotAsOf(f.sess, at)
+		route2 = r2
+		if err != nil {
+			rerr = err
+			return
+		}
+		defer snap2.Close()
+		n, rerr = snap2.CountRows("mono", nil, nil)
+	}()
+	advanceUntil(f.clock, done, time.Second)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !route2.Primary {
+		t.Fatalf("stale standby (applied %v < token %v) must not serve the read: %+v",
+			f.rep.AppliedLSN(), tokenAfterRead, route2)
+	}
+	if n != 90 {
+		t.Fatalf("monotonic read returned %d rows, want 90 (nothing older than the session has seen)", n)
+	}
+	f.rep.ResumeApply()
+}
+
+// TestRouterEmptyFleetFallsBackImmediately: with no standby registered
+// (startup ordering, or the last one pulled from rotation) waiting cannot
+// help — the primary serves at once instead of charging every read the
+// full wait budget. The absurd SnapshotWait + frozen clock make any wait
+// a hang, so passage proves immediacy.
+func TestRouterEmptyFleetFallsBackImmediately(t *testing.T) {
+	f := newRouterFixture(t, time.Second)
+	rt := NewRouter(f.prim, RouterOptions{SnapshotWait: time.Hour, Clock: clock.Func(f.clock.Now)})
+	route, err := rt.Pick(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !route.Primary {
+		t.Fatalf("empty fleet must fall back to the primary, got %+v", route)
+	}
+	// Same after the last standby leaves rotation.
+	rt.AddStandby("s1", f.rep)
+	rt.RemoveStandby("s1")
+	if route, err = rt.Pick(0); err != nil || !route.Primary {
+		t.Fatalf("post-removal fleet must fall back, got %+v err=%v", route, err)
+	}
+}
+
+// TestRouterNoFallback: without a primary, a token no standby can satisfy
+// surfaces ErrNoRoute after the wait — deterministic failure, not a stale
+// read.
+func TestRouterNoFallback(t *testing.T) {
+	f := newRouterFixture(t, time.Second)
+	rt := NewRouter(nil, RouterOptions{SnapshotWait: time.Second, Clock: clock.Func(f.clock.Now)})
+	rt.AddStandby("s1", f.rep)
+	mustExec(t, f.prim, func(tx *engine.Txn) error { return tx.CreateTable(testSchema("nf")) })
+	f.waitCaughtUp()
+	f.rep.PauseApply()
+	f.commitRows(t, "nf", 0, 10)
+
+	errCh := make(chan error, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := rt.Pick(f.sess.Token())
+		errCh <- err
+	}()
+	select {
+	case <-done:
+		t.Fatalf("Pick returned early: %v", <-errCh)
+	case <-time.After(20 * time.Millisecond):
+	}
+	advanceUntil(f.clock, done, time.Second)
+	if err := <-errCh; !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("want ErrNoRoute, got %v", err)
+	}
+	f.rep.ResumeApply()
+}

@@ -47,7 +47,7 @@ func (o ShipperOptions) withDefaults() ShipperOptions {
 	return o
 }
 
-// Shipper streams a primary's WAL to subscribed replicas. It hooks the
+// Shipper streams a node's WAL to subscribed replicas. It hooks the
 // group-commit flush path (wal.Manager.FlushNotify): every completed flush
 // wakes each subscriber's stream loop, which reads the newly durable bytes
 // straight from the log file (ReadDurable — never through the random-read
@@ -55,6 +55,18 @@ func (o ShipperOptions) withDefaults() ShipperOptions {
 // sends them as one framed, CRC-checked batch. Shipping therefore costs
 // the primary one extra sequential read of bytes that are still warm in
 // the OS page cache, and no commit-path work at all.
+//
+// The source need not be a primary: a standby's local log is a
+// byte-identical copy of its upstream's, and its AppendRaw ingest path
+// advances the durable LSN through the same FlushNotify hook a primary's
+// group commit does — so a Shipper over a standby engine re-ships the
+// stream one hop further down a cascade (primary → R1 → R2 → ...;
+// Replica.ShipLocal). A standby source relaxes two session rules: hello
+// waits for the standby to be bootstrapped (a fresh mid-tier learns its
+// catalog roots from its own upstream first), and a subscription past the
+// local log end waits for the log to grow back instead of declaring
+// divergence — a mid-tier that crashed and lost its buffered tail will
+// re-ingest exactly those bytes.
 type Shipper struct {
 	db   *engine.DB
 	opts ShipperOptions
@@ -62,6 +74,16 @@ type Shipper struct {
 	mu     sync.Mutex
 	nextID int
 	subs   map[int]*subscriber
+	// conns tracks every serving connection (including sessions still in
+	// their subscribe handshake, which appear in no subscriber entry):
+	// closeWith closes them all so no session can stay parked in a Recv or
+	// a Send while Close waits for it.
+	conns map[Conn]struct{}
+
+	// sessions tracks live Serve calls so closeWith can wait for every
+	// stream loop to exit — the promotion fence relies on no session
+	// reading the log after closeWith returns.
+	sessions sync.WaitGroup
 
 	closed atomic.Bool
 	stop   chan struct{}
@@ -79,6 +101,12 @@ type subscriber struct {
 	connectedAt  time.Time
 	bytesShipped atomic.Int64
 	batchesSent  atomic.Int64
+
+	// downstream is the subscriber's own cascade status (its hosted
+	// shipper's subscribers), carried piggyback on its acks — each hop
+	// reports its children, so the root's Status is the whole tree.
+	dsMu       sync.Mutex
+	downstream []SubscriberStatus
 }
 
 // SubscriberStatus is a point-in-time report for one replica — the payload
@@ -103,31 +131,98 @@ type SubscriberStatus struct {
 	Retained wal.LSN `json:"retained"`
 	// LastCommitAt is the commit time of the last transaction the replica
 	// applied; LagSeconds the primary clock's distance from it. Both are
-	// zero before the replica applies its first commit.
+	// zero before the replica applies its first commit. LagSeconds is only
+	// reported while the replica actually trails (see Idle).
 	LastCommitAt time.Time     `json:"last_commit_at"`
 	LagSeconds   float64       `json:"lag_seconds"`
 	Connected    time.Duration `json:"connected_seconds"`
 	BytesShipped int64         `json:"bytes_shipped"`
 	Batches      int64         `json:"batches"`
+	// Idle reports a caught-up subscriber on an idle stream: everything
+	// durable here has been shipped and applied, so there is no lag —
+	// heartbeat clock beacons keep the acked positions fresh while no
+	// commits flow, and without this flag the wall-clock distance from the
+	// last applied commit would read as ever-growing "lag" on a primary
+	// that simply stopped committing.
+	Idle bool `json:"idle"`
+	// Downstream is this replica's own cascade fan-out (the subscribers of
+	// the shipper it hosts over its local log), reported hop by hop through
+	// ack piggybacks — `asofctl repl-status` renders the tree.
+	Downstream []SubscriberStatus `json:"downstream,omitempty"`
 }
 
 // NewShipper creates a shipper over db. One shipper serves any number of
 // concurrent subscriber sessions (Serve is called per connection).
 func NewShipper(db *engine.DB, opts ShipperOptions) *Shipper {
 	return &Shipper{
-		db:   db,
-		opts: opts.withDefaults(),
-		subs: make(map[int]*subscriber),
-		stop: make(chan struct{}),
+		db:    db,
+		opts:  opts.withDefaults(),
+		subs:  make(map[int]*subscriber),
+		conns: make(map[Conn]struct{}),
+		stop:  make(chan struct{}),
 	}
 }
 
-// Close stops all sessions.
-func (s *Shipper) Close() {
+// Close stops all sessions and waits for their stream loops to exit.
+func (s *Shipper) Close() { s.closeWith(nil) }
+
+// closeWith ends every session — sending fin (when non-nil) to each live
+// subscriber first, so children learn *why* — and waits for all Serve
+// loops to return. After closeWith, no session can read the source log
+// again: this is the fence Replica.Promote uses to guarantee downstream
+// replicas never receive a byte of the forked (post-promotion) timeline.
+func (s *Shipper) closeWith(fin *Frame) {
+	s.mu.Lock()
 	if s.closed.Swap(true) {
+		s.mu.Unlock()
+		s.sessions.Wait()
 		return
 	}
+	all := make([]Conn, 0, len(s.conns))
+	for c := range s.conns {
+		all = append(all, c)
+	}
+	s.mu.Unlock()
+	// The fin goes to every tracked session conn, not just registered
+	// subscribers: a downstream still in its subscribe handshake (parked in
+	// the bootstrap wait, say) must learn of the promotion too, or its Run
+	// would surface a generic transport error and callers would retry
+	// forever against the promoted node. (A status-request session that
+	// races this sees one stray frame after its reply — harmless.)
+	var finTo []Conn
+	if fin != nil {
+		finTo = all
+	}
+	// Send the fin concurrently and with a bounded grace: a healthy peer
+	// (draining its Recv loop) gets it immediately; a stalled peer whose
+	// transport is write-blocked must not be able to hang this call — it
+	// loses the fin and learns of the close from its broken connection
+	// instead. Racing stream sends are fine: both sides are pre-fork.
+	var finWg sync.WaitGroup
+	for _, c := range finTo {
+		finWg.Add(1)
+		go func(c Conn) {
+			defer finWg.Done()
+			_ = c.Send(fin)
+		}(c)
+	}
+	finSent := make(chan struct{})
+	go func() {
+		finWg.Wait()
+		close(finSent)
+	}()
+	select {
+	case <-finSent:
+	case <-time.After(time.Second):
+	}
 	close(s.stop)
+	// Close every serving connection — a session parked in a handshake Recv
+	// or a transport Send has no stop-channel to observe; closing its conn
+	// is what unparks it (and any still-blocked fin sender above).
+	for _, c := range all {
+		_ = c.Close()
+	}
+	s.sessions.Wait()
 }
 
 // Status reports every connected subscriber.
@@ -156,10 +251,24 @@ func (s *Shipper) Status() []SubscriberStatus {
 		}
 		if wc := sub.lastCommitWC.Load(); wc != 0 {
 			st.LastCommitAt = time.Unix(0, wc)
+		}
+		if st.Applied >= durable {
+			// Caught up on an idle stream — or even ahead of it (a parked
+			// downstream waiting for a crashed mid-tier's log to regrow):
+			// the distance from the last applied commit measures how long
+			// the source has been idle, not how far the replica trails.
+			// Report "idle, caught up".
+			st.Idle = true
+		} else if !st.LastCommitAt.IsZero() {
 			if lag := now.Sub(st.LastCommitAt); lag > 0 {
 				st.LagSeconds = lag.Seconds()
 			}
 		}
+		sub.dsMu.Lock()
+		if len(sub.downstream) > 0 {
+			st.Downstream = append([]SubscriberStatus(nil), sub.downstream...)
+		}
+		sub.dsMu.Unlock()
 		out = append(out, st)
 	}
 	return out
@@ -206,6 +315,23 @@ func TapStream(conn Conn, from wal.LSN, n *atomic.Int64) error {
 // answered with the shipper's full status instead of a stream.
 func (s *Shipper) Serve(conn Conn) error {
 	defer conn.Close()
+	// Register with the session group under mu so closeWith either sees
+	// this session (and waits for it) or this session sees closed.
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		return errors.New("repl: shipper is closed")
+	}
+	s.sessions.Add(1)
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.sessions.Done()
+	}()
+
 	req, err := conn.Recv()
 	if err != nil {
 		return fmt.Errorf("repl: subscribe: %w", err)
@@ -216,6 +342,62 @@ func (s *Shipper) Serve(conn Conn) error {
 	case KindSubscribe:
 	default:
 		return fmt.Errorf("repl: unexpected %v frame before subscribe", req.Kind)
+	}
+
+	// Ack reader: drains replica progress reports concurrently with the
+	// stream loop. Started before any waiting so its exit (connection
+	// closed) ends the session even from the pre-hello wait states — the
+	// replica sends nothing between subscribe and hello, so an error here
+	// is always a dead peer. Its sub is handed to the registry later.
+	sub := &subscriber{conn: conn, connectedAt: s.db.Now()}
+	recvErr := make(chan error, 1)
+	go func() {
+		for {
+			f, err := conn.Recv()
+			if err != nil {
+				recvErr <- err
+				return
+			}
+			if f.Kind == KindAck {
+				sub.ackedApplied.Store(uint64(f.From))
+				sub.ackedDurable.Store(uint64(f.Durable))
+				if f.WallClock != 0 {
+					sub.lastCommitWC.Store(f.WallClock)
+				}
+				// A cascading replica piggybacks its own hosted shipper's
+				// status on acks; an undecodable payload is dropped (status
+				// is advisory, never worth ending a session over).
+				if len(f.Payload) > 0 {
+					var ds []SubscriberStatus
+					if json.Unmarshal(f.Payload, &ds) == nil {
+						sub.dsMu.Lock()
+						sub.downstream = ds
+						sub.dsMu.Unlock()
+					}
+				}
+			}
+		}
+	}()
+
+	// A cascading hop's hello must carry valid catalog roots; a mid-tier
+	// standby learns them from its own upstream's hello, so a downstream
+	// replica that connects before the mid-tier has ever streamed waits
+	// here until the boot info exists — or until the peer gives up.
+	if s.db.Standby() && !s.db.Bootstrapped() {
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for !s.db.Bootstrapped() {
+			select {
+			case <-tick.C:
+			case err := <-recvErr:
+				if errors.Is(err, ErrClosed) {
+					return nil
+				}
+				return err
+			case <-s.stop:
+				return nil
+			}
+		}
 	}
 
 	log := s.db.Log()
@@ -267,13 +449,18 @@ func (s *Shipper) Serve(conn Conn) error {
 			return fmt.Errorf("repl: subscription at %v predates retained log floor %v: %v", from, floor, aerr)
 		}
 	}
-	if next := log.NextLSN(); from > next {
+	if next := log.NextLSN(); from > next && !s.db.Standby() {
+		// On a primary, a resume point past the log end means the replica
+		// holds bytes this log never wrote: divergence. On a standby source
+		// it means the opposite — the mid-tier crashed and lost its buffered
+		// tail, and will re-ingest exactly the bytes the downstream already
+		// has (both copy the same upstream log) — so the session simply
+		// parks in the stream loop below until the log grows back to `from`.
 		_ = conn.Send(&Frame{Kind: KindError,
 			Payload: []byte(fmt.Sprintf("subscription at %v is past the log end %v; replica log diverged", from, next))})
 		return fmt.Errorf("repl: subscription at %v past log end %v", from, next)
 	}
 
-	sub := &subscriber{conn: conn, connectedAt: s.db.Now()}
 	sub.shipped.Store(uint64(from - 1))
 	s.mu.Lock()
 	s.nextID++
@@ -299,26 +486,6 @@ func (s *Shipper) Serve(conn Conn) error {
 	if err := conn.Send(hello); err != nil {
 		return err
 	}
-
-	// Ack reader: drains replica progress reports concurrently with the
-	// stream loop. Its exit (connection closed) also ends the session.
-	recvErr := make(chan error, 1)
-	go func() {
-		for {
-			f, err := conn.Recv()
-			if err != nil {
-				recvErr <- err
-				return
-			}
-			if f.Kind == KindAck {
-				sub.ackedApplied.Store(uint64(f.From))
-				sub.ackedDurable.Store(uint64(f.Durable))
-				if f.WallClock != 0 {
-					sub.lastCommitWC.Store(f.WallClock)
-				}
-			}
-		}
-	}()
 
 	notify := log.FlushNotify()
 	defer log.FlushUnnotify(notify)

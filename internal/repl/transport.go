@@ -47,6 +47,14 @@ const (
 	// (JSON payload) the shipper's per-subscriber status — the wire surface
 	// behind `asofctl repl-status`.
 	KindStatus FrameKind = 7
+	// KindPromoted (upstream → replica) fences a cascade hop at promotion:
+	// the standby this replica was subscribed to has been promoted, its log
+	// forks after From (the promotion point), and no byte past the fork
+	// will ever be shipped on this session. The replica's Run returns
+	// ErrUpstreamPromoted; the operator then re-points the replica at the
+	// promoted node (every byte it holds is pre-fork, so resubscription is
+	// exact) or orphans it at its applied horizon.
+	KindPromoted FrameKind = 8
 )
 
 func (k FrameKind) String() string {
@@ -65,6 +73,8 @@ func (k FrameKind) String() string {
 		return "error"
 	case KindStatus:
 		return "status"
+	case KindPromoted:
+		return "promoted"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

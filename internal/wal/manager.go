@@ -579,6 +579,18 @@ func (m *Manager) Rewind(end LSN) error {
 	m.tailAt = m.next
 	m.flushed.Store(uint64(end))
 	m.cache.clear() // cached blocks past the cut are stale
+	// Drop time samples past the cut: the rewound range will be rewritten —
+	// with different records after crash recovery's undo, or re-observed
+	// commit by commit on a resynchronizing replica — so samples pointing
+	// into it would map times to LSNs that no longer hold commit records.
+	for len(m.samples) > 0 && m.samples[len(m.samples)-1].LSN > end {
+		m.samples = m.samples[:len(m.samples)-1]
+	}
+	if n := len(m.samples); n > 0 {
+		m.lastSample = m.samples[n-1].LSN
+	} else {
+		m.lastSample = NilLSN
+	}
 	return nil
 }
 

@@ -20,6 +20,57 @@ func testManager(t *testing.T) *Manager {
 	return m
 }
 
+// TestRewindDropsTimeSamples: rewinding the log (torn-tail recovery, or a
+// replica resynchronizing to a re-shipped boundary) must drop time→LSN
+// samples past the cut — the rewound range is rewritten, so a surviving
+// sample would map a wall-clock time to an LSN that no longer holds a
+// commit record.
+func TestRewindDropsTimeSamples(t *testing.T) {
+	m := testManager(t)
+	// Three sample intervals of commit records.
+	var lastSampleLSN LSN
+	for m.NextLSN() < LSN(3*timeSampleEvery) {
+		lsn, err := m.Append(&Record{
+			Type: TypeCommit, TxnID: 1, PageID: NoPage,
+			WallClock: int64(m.NextLSN()),
+			OldData:   make([]byte, 512),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s, ok := m.TimeFloor(1 << 62); ok && s.LSN == lsn {
+			lastSampleLSN = lsn
+		}
+	}
+	if err := m.Flush(m.NextLSN() - 1); err != nil {
+		t.Fatal(err)
+	}
+	before := m.TimeIndexLen()
+	if before < 3 || lastSampleLSN == NilLSN {
+		t.Fatalf("sampling never engaged: %d samples, last at %v", before, lastSampleLSN)
+	}
+
+	// Rewind below the newest sample: it (and only it and its successors)
+	// must vanish, and TimeFloor must never answer with a dropped LSN.
+	cut := lastSampleLSN - 1
+	if err := m.Rewind(cut); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TimeIndexLen(); got >= before {
+		t.Fatalf("rewind kept %d of %d samples", got, before)
+	}
+	if s, ok := m.TimeFloor(1 << 62); ok && s.LSN > cut {
+		t.Fatalf("TimeFloor serves sample at %v past the rewind cut %v", s.LSN, cut)
+	}
+
+	// Re-observing the regrown (byte-identical on a replica) commits
+	// re-samples cleanly instead of colliding with stale index state.
+	m.ObserveCommit(int64(cut)+1, cut+1+timeSampleEvery)
+	if s, ok := m.TimeFloor(1 << 62); !ok || s.LSN != cut+1+timeSampleEvery {
+		t.Fatalf("re-observed commit not sampled: %+v ok=%v", s, ok)
+	}
+}
+
 func TestRecordMarshalRoundTrip(t *testing.T) {
 	r := &Record{
 		Type:         TypeUpdate,
