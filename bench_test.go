@@ -10,7 +10,6 @@ import (
 	"io"
 	"math/bits"
 	"os"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -23,11 +22,12 @@ import (
 )
 
 // commitBenchOptions builds the engine options for one BenchmarkCommitThroughput
-// arm. The serial arm disables the group-commit pipeline. The pool is sized
-// to hold the working set so the numbers measure the commit path, not
-// eviction I/O.
-func commitBenchOptions(serial bool) Options {
-	return Options{DisableGroupCommit: serial, BufferFrames: 8192}
+// arm. The serial arm disables the group-commit pipeline; the mutex arm
+// routes appends through the legacy mutex-serialized log tail instead of
+// the reservation ring. The pool is sized to hold the working set so the
+// numbers measure the commit path, not eviction I/O.
+func commitBenchOptions(serial, mutexLog bool) Options {
+	return Options{DisableGroupCommit: serial, DisableAppendRing: mutexLog, BufferFrames: 8192}
 }
 
 // benchScale is the Figure 7-11 workload: the database must dwarf a
@@ -191,16 +191,31 @@ func BenchmarkFig11UndoIO(b *testing.B) {
 
 // BenchmarkCommitThroughput measures raw commit throughput under parallel
 // committers — the workload the group-commit pipeline exists for. Each
-// iteration is one single-row transaction ended by a durable Commit. The
-// "group" arm uses the pipelined group-commit path; the "serial" arm forces
-// the log once per commit (the pre-pipeline behavior) for A/B comparison.
+// iteration is one single-row transaction ended by a durable Commit.
+//
+// The ring/mutex arms form the committer-scaling axis: group commit on,
+// appends through the lock-free reservation ring ("ring") versus the legacy
+// mutex-serialized log tail ("mutex"), at 1/2/4 committers each. On
+// multi-core the ring arm's commits/s should rise with the committer count
+// while the mutex arm flattens against tail-lock contention. The "serial"
+// arm keeps the pre-pipeline force-per-commit baseline for A/B continuity.
 func BenchmarkCommitThroughput(b *testing.B) {
 	for _, mode := range []struct {
-		name   string
-		serial bool
-	}{{"group", false}, {"serial", true}} {
+		name       string
+		committers int
+		serial     bool
+		mutexLog   bool
+	}{
+		{"ring/c=1", 1, false, false},
+		{"ring/c=2", 2, false, false},
+		{"ring/c=4", 4, false, false},
+		{"mutex/c=1", 1, false, true},
+		{"mutex/c=2", 2, false, true},
+		{"mutex/c=4", 4, false, true},
+		{"serial", 8, true, false},
+	} {
 		b.Run(mode.name, func(b *testing.B) {
-			db, err := Open(b.TempDir(), commitBenchOptions(mode.serial))
+			db, err := Open(b.TempDir(), commitBenchOptions(mode.serial, mode.mutexLog))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -245,37 +260,46 @@ func BenchmarkCommitThroughput(b *testing.B) {
 			var ids atomic.Int64
 			ids.Store(preload)
 			var failed atomic.Int64
-			// 8 concurrent committers regardless of GOMAXPROCS: RunParallel
-			// spawns GOMAXPROCS×parallelism workers.
-			if p := 8 / runtime.GOMAXPROCS(0); p > 1 {
-				b.SetParallelism(p)
-			}
+			// Exactly mode.committers concurrent goroutines regardless of
+			// GOMAXPROCS — RunParallel's worker count is a multiple of
+			// GOMAXPROCS, which can't express c=1 on a 4-core runner, so
+			// b.N is split across explicit workers instead.
 			flushes0 := db.Log().Flushes.Load()
 			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				for pb.Next() {
-					// Bit-reverse the sequence number so concurrent
-					// committers land on different leaves instead of all
-					// appending to the rightmost one — commit throughput,
-					// not leaf-latch contention, is what's measured.
-					seq := uint64(ids.Add(1))
-					id := int64(bits.Reverse64(seq) >> 16)
-					tx, err := db.Begin()
-					if err != nil {
-						failed.Add(1)
-						return
-					}
-					if err := tx.Insert("bench", Row{Int64(id), String("payload")}); err != nil {
-						tx.Rollback()
-						failed.Add(1)
-						return
-					}
-					if err := tx.Commit(); err != nil {
-						failed.Add(1)
-						return
-					}
+			var wg sync.WaitGroup
+			for c := 0; c < mode.committers; c++ {
+				iters := b.N / mode.committers
+				if c < b.N%mode.committers {
+					iters++
 				}
-			})
+				wg.Add(1)
+				go func(iters int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						// Bit-reverse the sequence number so concurrent
+						// committers land on different leaves instead of all
+						// appending to the rightmost one — commit throughput,
+						// not leaf-latch contention, is what's measured.
+						seq := uint64(ids.Add(1))
+						id := int64(bits.Reverse64(seq) >> 16)
+						tx, err := db.Begin()
+						if err != nil {
+							failed.Add(1)
+							return
+						}
+						if err := tx.Insert("bench", Row{Int64(id), String("payload")}); err != nil {
+							tx.Rollback()
+							failed.Add(1)
+							return
+						}
+						if err := tx.Commit(); err != nil {
+							failed.Add(1)
+							return
+						}
+					}
+				}(iters)
+			}
+			wg.Wait()
 			b.StopTimer()
 			if n := failed.Load(); n > 0 {
 				b.Fatalf("%d commits failed", n)

@@ -15,6 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/exp"
@@ -22,6 +26,10 @@ import (
 	"repro/internal/tpcc"
 	"repro/internal/wal"
 )
+
+// Profile destinations (set from flags); written at exit, including the
+// fatal path, so contention claims ship with profiles even on aborted runs.
+var profMutex, profBlock string
 
 func main() {
 	var (
@@ -42,11 +50,26 @@ func main() {
 		gcOff      = flag.Bool("gcoff", false, "run ONLY the serial (group-commit-disabled) arm of -fig commit")
 		gcDelay    = flag.Duration("gcdelay", 0, "group-commit linger delay (0 = yield-based batching)")
 		gcBytes    = flag.Int("gcbytes", 0, "group-commit max pending bytes before an early force (0 = default)")
+		ringOff    = flag.Bool("ringoff", false, "disable the lock-free WAL append ring (mutex-serialized tail) for -fig commit")
+		commitScl  = flag.String("commitscale", "", "comma-separated committer counts (e.g. 1,2,4) for a ring-vs-mutex scaling sweep of -fig commit")
 
 		// Log durability: every engine any figure opens uses this policy.
 		syncMode = flag.String("sync", "none", "log force durability: none | fdatasync (the arm where the gcdelay linger amortizes a real log force)")
+
+		// Contention profiles, written at exit next to wherever the JSON
+		// output is collected — append-path claims ship with profiles.
+		mutexProf = flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
+		blockProf = flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit")
 	)
 	flag.Parse()
+	profMutex, profBlock = *mutexProf, *blockProf
+	if profMutex != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	if profBlock != "" {
+		runtime.SetBlockProfileRate(100_000) // 100µs granularity
+	}
+	defer writeProfiles()
 	syncPolicy, err := wal.ParseSyncPolicy(*syncMode)
 	if err != nil {
 		fatal(err)
@@ -144,13 +167,42 @@ func main() {
 		}
 	}
 
-	if wants("commit") {
+	if wants("commit") && *commitScl != "" {
+		// Committer-count scaling sweep: the reservation ring against the
+		// mutex-serialized tail at each committer count, group commit on.
+		counts, err := parseCounts(*commitScl)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n== Commit pipeline: committer scaling, ring vs mutex log tail (%d txns/run, sync=%s) ==\n",
+			*commitTxns, *syncMode)
+		for _, n := range counts {
+			for _, mutexArm := range []bool{false, true} {
+				arm := "ring"
+				if mutexArm {
+					arm = "mutex"
+				}
+				opts := exp.CommitOptions{
+					Committers:          n,
+					Txns:                *commitTxns,
+					GroupCommitMaxDelay: *gcDelay,
+					GroupCommitMaxBytes: *gcBytes,
+					DisableAppendRing:   mutexArm,
+				}
+				fmt.Printf("%-6s c=%d: ", arm, n)
+				if _, err := exp.CommitThroughput(fmt.Sprintf("%s/commit-scale-%s-%d", dir, arm, n), opts, os.Stdout); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	} else if wants("commit") {
 		fmt.Printf("\n== Commit pipeline: durable commit throughput at %d committers (A/B) ==\n", *committers)
 		opts := exp.CommitOptions{
 			Committers:          *committers,
 			Txns:                *commitTxns,
 			GroupCommitMaxDelay: *gcDelay,
 			GroupCommitMaxBytes: *gcBytes,
+			DisableAppendRing:   *ringOff,
 		}
 		var serial, group exp.CommitResult
 		var err error
@@ -188,7 +240,39 @@ func main() {
 	}
 }
 
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad committer count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func writeProfiles() {
+	dump := func(name, path string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asofbench: %s profile: %v\n", name, err)
+			return
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "asofbench: %s profile: %v\n", name, err)
+		}
+	}
+	dump("mutex", profMutex)
+	dump("block", profBlock)
+}
+
 func fatal(err error) {
+	writeProfiles()
 	fmt.Fprintln(os.Stderr, "asofbench:", err)
 	os.Exit(1)
 }

@@ -107,6 +107,16 @@ type Options struct {
 	// can still be satisfied by a racing flush, as it could in the seed —
 	// so the arms only diverge once a linger delay is configured.
 	DisableGroupCommit bool
+	// AppendRingBytes sizes the WAL's lock-free append reservation ring
+	// (default wal.DefaultAppendRingBytes; floor 64 KiB). Appenders claim
+	// LSN ranges with one atomic add and marshal into the ring fully in
+	// parallel; larger rings absorb deeper append bursts before
+	// backpressure.
+	AppendRingBytes int
+	// DisableAppendRing routes WAL appends through the legacy
+	// mutex-serialized tail — the A/B arm for reservation-ring scaling
+	// comparisons. The log byte stream is identical either way.
+	DisableAppendRing bool
 
 	// Ablation switches (see DESIGN.md).
 	//
@@ -315,11 +325,13 @@ func Open(dir string, opts Options) (*DB, error) {
 // is present.
 func openLog(dir string, opts Options) (*wal.Manager, error) {
 	return wal.OpenStore(filepath.Join(dir, "wal"), wal.Config{
-		Dev:          opts.LogDevice,
-		SegmentBytes: opts.LogSegmentBytes,
-		Sync:         opts.SyncPolicy,
-		ArchiveDir:   opts.LogArchiveDir,
-		LegacyFile:   filepath.Join(dir, "wal.log"),
+		Dev:               opts.LogDevice,
+		SegmentBytes:      opts.LogSegmentBytes,
+		Sync:              opts.SyncPolicy,
+		ArchiveDir:        opts.LogArchiveDir,
+		LegacyFile:        filepath.Join(dir, "wal.log"),
+		AppendRingBytes:   opts.AppendRingBytes,
+		DisableAppendRing: opts.DisableAppendRing,
 	})
 }
 

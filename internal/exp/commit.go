@@ -29,6 +29,10 @@ type CommitOptions struct {
 	// window (passed through to engine.Options).
 	GroupCommitMaxDelay time.Duration
 	GroupCommitMaxBytes int
+	// DisableAppendRing routes WAL appends through the legacy
+	// mutex-serialized tail — the A/B arm for the reservation-ring
+	// committer-scaling comparison.
+	DisableAppendRing bool
 }
 
 // CommitResult is one arm's measurement.
@@ -61,6 +65,7 @@ func CommitThroughput(dir string, o CommitOptions, w io.Writer) (CommitResult, e
 		DisableGroupCommit:  o.DisableGroupCommit,
 		GroupCommitMaxDelay: o.GroupCommitMaxDelay,
 		GroupCommitMaxBytes: o.GroupCommitMaxBytes,
+		DisableAppendRing:   o.DisableAppendRing,
 	})
 	if err != nil {
 		return CommitResult{}, err
@@ -151,6 +156,9 @@ func CommitThroughput(dir string, o CommitOptions, w io.Writer) (CommitResult, e
 	mode := "group-commit"
 	if o.DisableGroupCommit {
 		mode = "serial-force"
+	}
+	if o.DisableAppendRing {
+		mode += "/mutex-log"
 	}
 	fmt.Fprintf(w, "%-13s %d committers  %6d txns  %8.0f commits/s  %6.2f commits/flush\n",
 		mode, res.Committers, res.Txns, res.PerSec, res.PerFlush)

@@ -29,11 +29,16 @@ const readBlockSize = 32 << 10
 // log on commit (write-ahead rule), serves random reads by LSN for undo, and
 // sequential scans for recovery and SplitLSN searches.
 //
-// The write path is a group-commit pipeline with a double-buffered tail:
-// Append frames records into the active tail buffer under mu, while at most
-// one flusher at a time writes the previously swapped-out buffer to disk
-// outside the lock — so appends (and therefore other transactions' progress)
-// never stall behind a log write. Committers call WaitDurable(lsn): the
+// The write path is a group-commit pipeline with a double-buffered tail.
+// By default, Append runs lock-free: appenders reserve their byte range
+// with one atomic add on resv and marshal + CRC directly into a fixed
+// reservation ring (see ring.go); drainers move complete frames from the
+// ring into the active tail buffer under mu. With the ring disabled,
+// Append frames records into the tail buffer under mu directly. Either
+// way, at most one flusher at a time writes the previously swapped-out
+// buffer to disk outside the lock — so appends (and therefore other
+// transactions' progress) never stall behind a log write, and the log byte
+// stream is identical in both modes. Committers call WaitDurable(lsn): the
 // first waiter becomes the flush leader, optionally lingers up to
 // GroupCommitMaxDelay for companions (skipped once GroupCommitMaxBytes are
 // pending), swaps the tail out and writes it; every commit whose record
@@ -49,8 +54,29 @@ type Manager struct {
 
 	tail   []byte // active append buffer
 	tailAt LSN    // LSN of tail[0]
-	next   LSN    // next LSN to assign
 	spare  []byte // recycled buffer, swapped in when a flush takes the tail
+
+	// resv is the 0-based end offset of reserved log space: the next
+	// record's LSN is resv+1. Ring-path appenders claim space with a single
+	// atomic add; the legacy mutex path advances it under mu. Reserved
+	// bytes above the ring's drain cursor are in flight — possibly still
+	// marshaling in their appender goroutines.
+	resv atomic.Uint64
+
+	// ring is the lock-free append reservation ring (see ring.go); nil
+	// when Config.DisableAppendRing routes appends through the mutex path.
+	ring *appendRing
+
+	// ringCond (on mu) parks ring-space waiters, flush leaders waiting for
+	// the drain watermark, and readers waiting on in-flight bytes.
+	ringCond *sync.Cond
+
+	// poisoned mirrors ioErr != nil for lock-free fast-path checks.
+	poisoned atomic.Bool
+
+	// failWrites is a test hook: when set, physical log writes fail with
+	// errInjectedWrite, poisoning the manager like a real I/O error.
+	failWrites atomic.Bool
 
 	// While a flush is in flight, the bytes being written live here; their
 	// content is immutable until the flush completes, so readAt can serve
@@ -132,6 +158,13 @@ type Config struct {
 	// names a flat pre-segmentation log file whose bytes are migrated into
 	// the first segment (the file is kept, renamed *.migrated).
 	LegacyFile string
+	// AppendRingBytes sizes the lock-free append reservation ring (default
+	// DefaultAppendRingBytes; floor 64 KiB; rounded up to whole cells).
+	// Larger rings absorb deeper append bursts before backpressure.
+	AppendRingBytes int
+	// DisableAppendRing routes Append through the legacy mutex-serialized
+	// tail — the A/B arm for reservation-ring comparisons.
+	DisableAppendRing bool
 }
 
 // Open opens (creating if necessary) the segmented log store rooted at the
@@ -160,11 +193,15 @@ func OpenStore(dir string, cfg Config) (*Manager, error) {
 	m := &Manager{
 		store:   store,
 		dev:     cfg.Dev,
-		next:    end + 1,
 		tailAt:  end + 1,
 		gcBytes: DefaultGroupCommitMaxBytes,
 		cache:   newBlockCache(256), // 8 MiB of log cache
 		clock:   clock.Real(),
+	}
+	m.resv.Store(uint64(end))
+	if !cfg.DisableAppendRing {
+		m.ring = newAppendRing(cfg.AppendRingBytes)
+		m.ring.consumed.Store(uint64(end))
 	}
 	// A store whose first segment begins past offset 0 carries a durable
 	// retention floor. The logical truncation point — the record-boundary
@@ -178,7 +215,8 @@ func OpenStore(dir string, cfg Config) (*Manager, error) {
 		m.trunc.Store(uint64(base) + 1)
 	}
 	m.flushDone = sync.NewCond(&m.mu)
-	m.flushed.Store(uint64(m.next - 1))
+	m.ringCond = sync.NewCond(&m.mu)
+	m.flushed.Store(uint64(end))
 	return m, nil
 }
 
@@ -284,9 +322,7 @@ func (m *Manager) Close() error {
 
 // NextLSN returns the LSN the next appended record will receive.
 func (m *Manager) NextLSN() LSN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.next
+	return LSN(m.resv.Load()) + 1
 }
 
 // FlushedLSN returns the highest LSN known durable.
@@ -310,17 +346,27 @@ var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
 type frameBuf struct{ b []byte }
 
 // Append assigns the record an LSN and buffers it. The record is not
-// durable until the flushed LSN reaches its LSN. Appends proceed even while
-// a flush is writing earlier records to disk, and the marshaling + CRC work
-// happens outside the manager lock (the record body does not depend on the
-// LSN), so concurrent appenders only serialize on the tail memcpy.
+// durable until the flushed LSN reaches its LSN. The record is fully
+// serialized into the log buffer before Append returns (callers alias page
+// bytes into records and may reuse them afterwards).
+//
+// On the default ring path, appenders reserve their byte range with one
+// atomic add and marshal + CRC directly into the reserved ring bytes, so
+// concurrent appenders share no lock at all (see ring.go); Append can then
+// fail only once a log write has poisoned the manager. On the legacy path
+// (Config.DisableAppendRing) appenders serialize on the tail memcpy under
+// mu, with the marshaling still done outside the lock.
 func (m *Manager) Append(r *Record) (LSN, error) {
+	if m.ring != nil {
+		return m.ringAppend(r)
+	}
 	fb := framePool.Get().(*frameBuf)
 	fb.b = frame(fb.b[:0], r)
 	m.mu.Lock()
-	lsn := m.next
+	start := m.resv.Load()
+	lsn := LSN(start) + 1
 	m.tail = append(m.tail, fb.b...)
-	m.next += LSN(len(fb.b))
+	m.resv.Store(start + uint64(len(fb.b)))
 	if r.Type == TypeCommit {
 		m.maybeSampleLocked(r.WallClock, lsn)
 	}
@@ -370,7 +416,7 @@ func (m *Manager) force(lsn LSN, linger bool) error {
 			m.mu.Unlock()
 			return nil
 		}
-		if lsn >= m.next {
+		if lsn > LSN(m.resv.Load()) {
 			m.mu.Unlock()
 			return fmt.Errorf("wal: flush of unappended %v", lsn)
 		}
@@ -386,7 +432,11 @@ func (m *Manager) force(lsn LSN, linger bool) error {
 		}
 		// Leader: claim the flush slot.
 		m.flushActive = true
-		if linger && m.gcDelay > 0 && len(m.tail) < m.gcBytes {
+		// Pending bytes include both the drained tail and any in-flight
+		// ring reservations (resv runs ahead of the tail on the ring path;
+		// on the legacy path the two are equal).
+		pending := int(int64(m.resv.Load()) - int64(m.tailAt-1))
+		if linger && m.gcDelay > 0 && pending < m.gcBytes {
 			// Linger for companions: trade commit latency for batch size.
 			// Only with an explicitly configured delay — by default the
 			// pipeline batches purely from arrivals during in-flight writes,
@@ -397,6 +447,28 @@ func (m *Manager) force(lsn LSN, linger bool) error {
 			m.mu.Unlock()
 			time.Sleep(m.gcDelay)
 			m.mu.Lock()
+		}
+		if m.ring != nil {
+			// Drain the ring into the tail and wait until the target
+			// record's bytes are below the watermark — its frame may still
+			// be marshaling in its appender goroutine. Drain is
+			// frame-aligned, so covering lsn's first byte covers the whole
+			// record.
+			m.drainLocked()
+			m.ring.waiters.Add(1)
+			for m.ioErr == nil && m.tailAt+LSN(len(m.tail)) <= lsn {
+				m.ringCond.Wait()
+				m.drainLocked()
+			}
+			m.ring.waiters.Add(-1)
+			if m.ioErr != nil {
+				err := m.ioErr
+				m.flushActive = false
+				m.flushGen++
+				m.flushDone.Broadcast()
+				m.mu.Unlock()
+				return err
+			}
 		}
 		// Swap the tail out; appends continue into the spare buffer while
 		// we write outside the lock.
@@ -417,9 +489,13 @@ func (m *Manager) force(lsn LSN, linger bool) error {
 			// The write-then-sync pair is one log force: durability is not
 			// acknowledged (flushed is not advanced) until both complete, so
 			// under SyncData a commit's WaitDurable really means fdatasync'd.
-			err = m.store.writeAt(buf, int64(at-1))
-			if err == nil {
-				err = m.store.syncDirty()
+			if m.failWrites.Load() {
+				err = errInjectedWrite
+			} else {
+				err = m.store.writeAt(buf, int64(at-1))
+				if err == nil {
+					err = m.store.syncDirty()
+				}
 			}
 			m.Flushes.Add(1)
 		}
@@ -430,9 +506,14 @@ func (m *Manager) force(lsn LSN, linger bool) error {
 			// meanwhile and poison the manager: after a failed log write no
 			// later flush may succeed, or the log would have a hole.
 			m.ioErr = fmt.Errorf("wal: flush: %w", err)
+			m.poisoned.Store(true)
 			m.tail = append(buf, m.tail...)
 			m.tailAt = at
 			err = m.ioErr
+			// Wake every parked ring waiter (space waiters, watermark
+			// waiters, readers): their wait loops check ioErr and surface
+			// it instead of hanging on a log that will never drain again.
+			m.ringCond.Broadcast()
 		} else {
 			m.flushed.Store(uint64(at) + uint64(len(buf)) - 1)
 			m.spare = buf[:0]
@@ -529,33 +610,44 @@ func (m *Manager) AppendRaw(frames []byte) (LSN, error) {
 		m.mu.Unlock()
 		return NilLSN, err
 	}
-	if len(m.tail) > 0 || m.flushActive {
+	if len(m.tail) > 0 || m.flushActive || !m.ringQuiescentLocked() {
 		m.mu.Unlock()
 		return NilLSN, errors.New("wal: AppendRaw on a log with buffered appends")
 	}
-	at := m.next
+	at := LSN(m.resv.Load()) + 1
 	m.mu.Unlock()
 
-	err := m.store.writeAt(frames, int64(at-1))
-	if err == nil {
-		err = m.store.syncDirty()
+	var err error
+	if m.failWrites.Load() {
+		err = errInjectedWrite
+	} else {
+		err = m.store.writeAt(frames, int64(at-1))
+		if err == nil {
+			err = m.store.syncDirty()
+		}
 	}
 	if err != nil {
 		m.mu.Lock()
 		m.ioErr = fmt.Errorf("wal: raw append: %w", err)
+		m.poisoned.Store(true)
+		m.ringCond.Broadcast()
 		m.mu.Unlock()
 		return NilLSN, m.ioErr
 	}
 	m.Flushes.Add(1)
 
 	m.mu.Lock()
-	m.next = at + LSN(len(frames))
-	m.tailAt = m.next
-	m.flushed.Store(uint64(m.next - 1))
+	end := uint64(at-1) + uint64(len(frames))
+	m.resv.Store(end)
+	if m.ring != nil {
+		m.ring.consumed.Store(end)
+	}
+	m.tailAt = LSN(end) + 1
+	m.flushed.Store(end)
 	m.notifyDurableLocked()
 	m.mu.Unlock()
 	m.dev.ChargeWrite(int64(len(frames)), true)
-	return m.next - 1, nil
+	return LSN(end), nil
 }
 
 // Rewind discards the (non-durable or torn) log past end: the file is
@@ -566,17 +658,22 @@ func (m *Manager) AppendRaw(frames []byte) (LSN, error) {
 func (m *Manager) Rewind(end LSN) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.flushActive || len(m.tail) > 0 {
+	if m.flushActive || len(m.tail) > 0 || !m.ringQuiescentLocked() {
 		return errors.New("wal: rewind with buffered appends")
 	}
-	if end+1 > m.next {
-		return fmt.Errorf("wal: rewind to %v past end %v", end, m.next-1)
+	if end > LSN(m.resv.Load()) {
+		return fmt.Errorf("wal: rewind to %v past end %v", end, LSN(m.resv.Load()))
 	}
 	if err := m.store.truncateTo(int64(end)); err != nil {
 		return fmt.Errorf("wal: rewind: %w", err)
 	}
-	m.next = end + 1
-	m.tailAt = m.next
+	m.resv.Store(uint64(end))
+	if m.ring != nil {
+		// Quiescent ring: every cell counter is zero and the big map is
+		// empty, so moving the cursor back with resv keeps all invariants.
+		m.ring.consumed.Store(uint64(end))
+	}
+	m.tailAt = end + 1
 	m.flushed.Store(uint64(end))
 	m.cache.clear() // cached blocks past the cut are stale
 	// Drop time samples past the cut: the rewound range will be rewritten —
@@ -678,11 +775,10 @@ func (m *Manager) ArchiveDir() string { return m.store.archiveDir }
 // SegmentBytes returns the configured segment capacity.
 func (m *Manager) SegmentBytes() int64 { return m.store.segBytes }
 
-// Size returns the total log size in bytes, including the unflushed tail.
+// Size returns the total log size in bytes, including the unflushed tail
+// and any in-flight ring reservations.
 func (m *Manager) Size() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return int64(m.next - 1)
+	return int64(m.resv.Load())
 }
 
 // readAt fills buf from log offset off. Bytes may live in three places: the
@@ -692,7 +788,10 @@ func (m *Manager) Size() int64 {
 // Returns the number of bytes it could serve (short only at end of log).
 func (m *Manager) readAt(buf []byte, off int64, countIO bool) (int, error) {
 	m.mu.Lock()
-	end := int64(m.next - 1)
+	if m.ring != nil {
+		m.drainLocked()
+	}
+	end := int64(m.resv.Load())
 	if off >= end {
 		m.mu.Unlock()
 		return 0, io.EOF
@@ -700,6 +799,35 @@ func (m *Manager) readAt(buf []byte, off int64, countIO bool) (int, error) {
 	want := buf
 	if off+int64(len(want)) > end {
 		want = want[:end-off]
+	}
+	if m.ring != nil {
+		// The requested range is reserved, but its upper end may still be
+		// marshaling in appender goroutines (a reader typically chases a
+		// record whose Append just returned while earlier reservations are
+		// in flight). Wait until everything we will serve has been drained
+		// into the contiguous tail; on a poisoned manager, serve what was
+		// drained and error only if none of the range was.
+		rg := m.ring
+		rg.waiters.Add(1)
+		for {
+			drained := int64(m.tailAt-1) + int64(len(m.tail))
+			if off+int64(len(want)) <= drained {
+				break
+			}
+			if m.ioErr != nil {
+				if off >= drained {
+					err := m.ioErr
+					rg.waiters.Add(-1)
+					m.mu.Unlock()
+					return 0, err
+				}
+				want = want[:drained-off]
+				break
+			}
+			m.ringCond.Wait()
+			m.drainLocked()
+		}
+		rg.waiters.Add(-1)
 	}
 	tailStart := int64(m.tailAt - 1)
 	memStart := tailStart

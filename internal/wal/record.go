@@ -332,6 +332,29 @@ func unmarshalInto(r *Record, src []byte) error {
 	return nil
 }
 
+// bodyWallClock extracts the WallClock field from a record body prefix
+// without decoding the payloads — the drain-time commit sampler's fast
+// path. src must hold the three fixed bytes and the nine numeric varints
+// (at most maxBodyPrefix bytes); payloads may be cut off.
+func bodyWallClock(src []byte) (int64, bool) {
+	off := 3
+	if len(src) < off {
+		return 0, false
+	}
+	for i := 0; i < 8; i++ {
+		_, n := binary.Uvarint(src[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+	}
+	wc, n := binary.Varint(src[off:])
+	if n <= 0 {
+		return 0, false
+	}
+	return wc, true
+}
+
 // frame layout: u32 bodyLen | u32 crc32(body) | body
 const frameHeader = 8
 

@@ -1,0 +1,468 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openRingStore(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m, err := OpenStore(filepath.Join(t.TempDir(), "wal"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// appended is one hammer append as observed by its writer.
+type appended struct {
+	lsn  LSN
+	size int
+	id   uint64
+}
+
+// hammerAppenders drives `writers` goroutines of mixed-size appends with
+// interleaved WaitDurable/Flush calls, then verifies the fundamental ring
+// invariants: LSNs form a gapless frame-aligned sequence, and Scan returns
+// exactly the appended records, byte for byte, in LSN order.
+func hammerAppenders(t *testing.T, m *Manager, writers, perWriter, maxPayload int) {
+	t.Helper()
+	var mu sync.Mutex
+	var all []appended
+	payloads := make(map[uint64][]byte)
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				id := uint64(w)<<32 | uint64(i)
+				payload := make([]byte, 1+rng.Intn(maxPayload))
+				for j := range payload {
+					payload[j] = byte(id + uint64(j))
+				}
+				rec := &Record{Type: TypeInsert, TxnID: id, PageID: uint32(w + 1), NewData: payload}
+				size := rec.ApproxSize()
+				lsn, err := m.Append(rec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				all = append(all, appended{lsn: lsn, size: size, id: id})
+				payloads[id] = payload
+				mu.Unlock()
+				switch i % 7 {
+				case 0:
+					if err := m.WaitDurable(lsn); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					if err := m.Flush(lsn); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := m.Flush(m.NextLSN() - 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// LSN continuity: sorted by LSN, reservations tile the log exactly.
+	sort.Slice(all, func(i, j int) bool { return all[i].lsn < all[j].lsn })
+	next := LSN(1)
+	for _, a := range all {
+		if a.lsn != next {
+			t.Fatalf("reservation gap: lsn %v, want %v", a.lsn, next)
+		}
+		next = a.lsn + LSN(a.size)
+	}
+	if got := m.NextLSN(); got != next {
+		t.Fatalf("NextLSN %v after appends, want %v", got, next)
+	}
+
+	// Scan sees every record exactly once, in order, byte-identical.
+	i := 0
+	err := m.Scan(1, func(rec *Record) (bool, error) {
+		if i >= len(all) {
+			return false, fmt.Errorf("scan overran %d appended records at %v", len(all), rec.LSN)
+		}
+		want := all[i]
+		if rec.LSN != want.lsn || rec.TxnID != want.id {
+			return false, fmt.Errorf("scan[%d]: lsn %v txn %d, want %v/%d", i, rec.LSN, rec.TxnID, want.lsn, want.id)
+		}
+		if !bytes.Equal(rec.NewData, payloads[want.id]) {
+			return false, fmt.Errorf("scan[%d]: payload mismatch at %v", i, rec.LSN)
+		}
+		i++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(all) {
+		t.Fatalf("scan saw %d records, want %d", i, len(all))
+	}
+}
+
+// TestRingHammer races appenders, flushers and the scanner across three
+// arms: the default ring, a minimum-size ring that wraps hundreds of times,
+// and the legacy mutex path (same invariants must hold on both sides of the
+// A/B knob).
+func TestRingHammer(t *testing.T) {
+	arms := []struct {
+		name string
+		cfg  Config
+	}{
+		{"ring-default", Config{}},
+		{"ring-wraparound", Config{AppendRingBytes: minAppendRingBytes}},
+		{"legacy", Config{DisableAppendRing: true}},
+	}
+	for _, arm := range arms {
+		t.Run(arm.name, func(t *testing.T) {
+			m := openRingStore(t, arm.cfg)
+			hammerAppenders(t, m, 8, 150, 2048)
+		})
+	}
+}
+
+// TestRingConcurrentReadersDuringAppend pairs racing appenders with readers
+// chasing records the instant Append returns — the reader may request bytes
+// whose earlier neighbors are still marshaling in other goroutines.
+func TestRingConcurrentReadersDuringAppend(t *testing.T) {
+	m := openRingStore(t, Config{AppendRingBytes: minAppendRingBytes})
+	const writers = 6
+	const perWriter = 150
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := uint64(w)<<32 | uint64(i)
+				payload := []byte(fmt.Sprintf("w%d-i%d", w, i))
+				rec := &Record{Type: TypeInsert, TxnID: id, PageID: 1, NewData: payload}
+				lsn, err := m.Append(rec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := m.Read(lsn)
+				if err != nil {
+					t.Errorf("read-after-append %v: %v", lsn, err)
+					return
+				}
+				if got.TxnID != id || !bytes.Equal(got.NewData, payload) {
+					t.Errorf("read-after-append %v: got txn %d", lsn, got.TxnID)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestRingBigFrames interleaves ordinary appends with frames bigger than
+// the side-map threshold (ring/4) and bigger than the whole ring: the
+// oversized path must splice into the same gapless byte stream.
+func TestRingBigFrames(t *testing.T) {
+	m := openRingStore(t, Config{AppendRingBytes: minAppendRingBytes})
+	bigMax := m.ring.bigMax
+	var mu sync.Mutex
+	var all []appended
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				id := uint64(w)<<32 | uint64(i)
+				n := 64
+				switch i % 8 {
+				case 2:
+					n = bigMax + 1024 // side-map path
+				case 5:
+					n = len(m.ring.buf) + 4096 // bigger than the whole ring
+				}
+				rec := &Record{Type: TypeImage, TxnID: id, PageID: uint32(w + 1), NewData: make([]byte, n)}
+				size := rec.ApproxSize()
+				lsn, err := m.Append(rec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				all = append(all, appended{lsn: lsn, size: size, id: id})
+				mu.Unlock()
+				if i%5 == 0 {
+					if err := m.WaitDurable(lsn); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := m.Flush(m.NextLSN() - 1); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].lsn < all[j].lsn })
+	next := LSN(1)
+	count := 0
+	for _, a := range all {
+		if a.lsn != next {
+			t.Fatalf("reservation gap: lsn %v, want %v", a.lsn, next)
+		}
+		next = a.lsn + LSN(a.size)
+	}
+	err := m.Scan(1, func(rec *Record) (bool, error) {
+		if rec.LSN != all[count].lsn || rec.TxnID != all[count].id {
+			return false, fmt.Errorf("scan[%d]: %v/%d, want %v/%d",
+				count, rec.LSN, rec.TxnID, all[count].lsn, all[count].id)
+		}
+		count++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(all) {
+		t.Fatalf("scan saw %d records, want %d", count, len(all))
+	}
+}
+
+// TestRingMidFlushRotation runs racing committers over tiny (4 KiB)
+// segments so flush buffers constantly straddle segment rotations, then
+// reopens the store and verifies every acknowledged commit survived.
+func TestRingMidFlushRotation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	m, err := OpenStore(dir, Config{SegmentBytes: 4096, AppendRingBytes: minAppendRingBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 6
+	const perWriter = 60
+	var mu sync.Mutex
+	acked := make(map[LSN]uint64)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := uint64(w)<<32 | uint64(i)
+				rec := &Record{Type: TypeCommit, TxnID: id, PageID: NoPage,
+					NewData: make([]byte, 100+i%700)}
+				lsn, err := m.Append(rec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := m.WaitDurable(lsn); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				acked[lsn] = id
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := m.store.close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := OpenStore(dir, Config{SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := len(m2.Segments()); got < 10 {
+		t.Fatalf("only %d segments; rotation not exercised", got)
+	}
+	for lsn, id := range acked {
+		rec, err := m2.Read(lsn)
+		if err != nil {
+			t.Fatalf("read %v after reopen: %v", lsn, err)
+		}
+		if rec.TxnID != id {
+			t.Fatalf("lsn %v: txn %d, want %d", lsn, rec.TxnID, id)
+		}
+	}
+}
+
+// TestRingIOErrorSurfaces injects a write failure under racing committers:
+// every in-flight reserver must surface the error (not hang), and the
+// manager must stay sticky-poisoned afterwards.
+func TestRingIOErrorSurfaces(t *testing.T) {
+	m := openRingStore(t, Config{AppendRingBytes: minAppendRingBytes})
+	const writers = 8
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; ; i++ {
+				rec := &Record{Type: TypeCommit, TxnID: uint64(w), PageID: NoPage,
+					NewData: make([]byte, 512)}
+				lsn, err := m.Append(rec)
+				if err == nil {
+					err = m.WaitDurable(lsn)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	time.Sleep(5 * time.Millisecond) // let traffic build
+	m.failWrites.Store(true)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight reservers hung after injected I/O error")
+	}
+	for i := 0; i < writers; i++ {
+		if err := <-errs; err == nil {
+			t.Fatal("writer exited without an error")
+		}
+	}
+	// Sticky poison: both entry points keep failing.
+	if _, err := m.Append(&Record{Type: TypeInsert, TxnID: 1, PageID: 1}); err == nil {
+		t.Fatal("Append succeeded on a poisoned manager")
+	}
+	// The failed flush put its bytes back in the tail, so the log end is
+	// reserved-but-unflushed; forcing it must surface the sticky error
+	// (already-durable LSNs still acknowledge, as they should).
+	if end := m.NextLSN() - 1; end <= m.FlushedLSN() {
+		t.Fatalf("no unflushed bytes after failed flush: end %v, flushed %v", end, m.FlushedLSN())
+	} else if err := m.WaitDurable(end); err == nil {
+		t.Fatal("WaitDurable succeeded on a poisoned manager")
+	}
+}
+
+// TestRingSamplingMatchesLegacy replays one record sequence — commits
+// interleaved with page traffic, including slightly inverted commit
+// wall-clocks — through a ring manager and a legacy manager, and requires
+// the drain-time sampler to produce the exact sample set the append-time
+// sampler did: same LSNs, same wall clocks, same order.
+func TestRingSamplingMatchesLegacy(t *testing.T) {
+	ring := openRingStore(t, Config{})
+	legacy := openRingStore(t, Config{DisableAppendRing: true})
+	rng := rand.New(rand.NewSource(7))
+	wc := int64(1_000_000)
+	for i := 0; i < 4000; i++ {
+		var rec Record
+		if i%4 == 0 {
+			wc += int64(rng.Intn(2000)) - 40 // occasional inversion
+			rec = Record{Type: TypeCommit, TxnID: uint64(i), PageID: NoPage, WallClock: wc}
+		} else {
+			rec = Record{Type: TypeInsert, TxnID: uint64(i), PageID: 1,
+				NewData: make([]byte, rng.Intn(300))}
+		}
+		r1, r2 := rec, rec
+		if _, err := ring.Append(&r1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := legacy.Append(&r2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ring.Flush(ring.NextLSN() - 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Flush(legacy.NextLSN() - 1); err != nil {
+		t.Fatal(err)
+	}
+	rs, ls := ring.TimeSamplesSince(0), legacy.TimeSamplesSince(0)
+	if len(rs) < 3 {
+		t.Fatalf("sampling never engaged: %d samples", len(rs))
+	}
+	if !reflect.DeepEqual(rs, ls) {
+		t.Fatalf("sample sets diverge:\nring:   %v\nlegacy: %v", rs, ls)
+	}
+}
+
+// TestRingLegacyByteIdentical replays one record sequence through both
+// append paths and requires byte-identical logs — the property that keeps
+// replication shipping, torn-tail recovery and every chain walk oblivious
+// to which path wrote the bytes.
+func TestRingLegacyByteIdentical(t *testing.T) {
+	ring := openRingStore(t, Config{AppendRingBytes: minAppendRingBytes})
+	legacy := openRingStore(t, Config{DisableAppendRing: true})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 800; i++ {
+		n := rng.Intn(1500)
+		if i%37 == 0 {
+			n = minAppendRingBytes / 3 // side-map path on the ring arm
+		}
+		rec := Record{Type: TypeUpdate, TxnID: uint64(i), PageID: uint32(i % 9),
+			PrevLSN: LSN(i), WallClock: int64(i) << 20, NewData: make([]byte, n)}
+		r1, r2 := rec, rec
+		if _, err := ring.Append(&r1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := legacy.Append(&r2); err != nil {
+			t.Fatal(err)
+		}
+		if r1.LSN != r2.LSN {
+			t.Fatalf("LSN divergence at %d: ring %v, legacy %v", i, r1.LSN, r2.LSN)
+		}
+	}
+	if err := ring.Flush(ring.NextLSN() - 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Flush(legacy.NextLSN() - 1); err != nil {
+		t.Fatal(err)
+	}
+	size := ring.Size()
+	if size != legacy.Size() {
+		t.Fatalf("log sizes diverge: %d vs %d", size, legacy.Size())
+	}
+	a, b := make([]byte, size), make([]byte, size)
+	if n, err := ring.ReadDurable(a, 0); err != nil || int64(n) != size {
+		t.Fatalf("read ring log: n=%d err=%v", n, err)
+	}
+	if n, err := legacy.ReadDurable(b, 0); err != nil || int64(n) != size {
+		t.Fatalf("read legacy log: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(a, b) {
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("logs diverge at byte %d of %d", i, size)
+			}
+		}
+	}
+}
