@@ -453,9 +453,12 @@ func (m *Manager) force(lsn LSN, linger bool) error {
 			// record's bytes are below the watermark — its frame may still
 			// be marshaling in its appender goroutine. Drain is
 			// frame-aligned, so covering lsn's first byte covers the whole
-			// record.
-			m.drainLocked()
+			// record. waiters must be raised before the drain that feeds
+			// the first condition check: a publisher that loads waiters==0
+			// skips the broadcast, so it must be guaranteed that the
+			// waiter's own drain already sees those published cells.
 			m.ring.waiters.Add(1)
+			m.drainLocked()
 			for m.ioErr == nil && m.tailAt+LSN(len(m.tail)) <= lsn {
 				m.ringCond.Wait()
 				m.drainLocked()
@@ -637,6 +640,18 @@ func (m *Manager) AppendRaw(frames []byte) (LSN, error) {
 	m.Flushes.Add(1)
 
 	m.mu.Lock()
+	if got := LSN(m.resv.Load()) + 1; got != at {
+		// A concurrent appender reserved log space while the raw write was
+		// in flight, violating the single-writer contract. The raw bytes
+		// already landed over that reservation on disk, and storing our end
+		// below would clobber the ring counters on top — poison loudly
+		// instead of corrupting the log silently.
+		m.ioErr = fmt.Errorf("wal: AppendRaw raced concurrent appends (next LSN moved %v -> %v)", at, got)
+		m.poisoned.Store(true)
+		m.ringCond.Broadcast()
+		m.mu.Unlock()
+		return NilLSN, m.ioErr
+	}
 	end := uint64(at-1) + uint64(len(frames))
 	m.resv.Store(end)
 	if m.ring != nil {
@@ -788,9 +803,6 @@ func (m *Manager) Size() int64 {
 // Returns the number of bytes it could serve (short only at end of log).
 func (m *Manager) readAt(buf []byte, off int64, countIO bool) (int, error) {
 	m.mu.Lock()
-	if m.ring != nil {
-		m.drainLocked()
-	}
 	end := int64(m.resv.Load())
 	if off >= end {
 		m.mu.Unlock()
@@ -806,10 +818,14 @@ func (m *Manager) readAt(buf []byte, off int64, countIO bool) (int, error) {
 		// record whose Append just returned while earlier reservations are
 		// in flight). Wait until everything we will serve has been drained
 		// into the contiguous tail; on a poisoned manager, serve what was
-		// drained and error only if none of the range was.
+		// drained and error only if none of the range was. The drain runs
+		// at the top of the loop, after waiters is raised: a publisher that
+		// loads waiters==0 skips the broadcast, which is only safe if that
+		// publish is already visible to the drain feeding our check.
 		rg := m.ring
 		rg.waiters.Add(1)
 		for {
+			m.drainLocked()
 			drained := int64(m.tailAt-1) + int64(len(m.tail))
 			if off+int64(len(want)) <= drained {
 				break
@@ -825,7 +841,6 @@ func (m *Manager) readAt(buf []byte, off int64, countIO bool) (int, error) {
 				break
 			}
 			m.ringCond.Wait()
-			m.drainLocked()
 		}
 		rg.waiters.Add(-1)
 	}

@@ -120,6 +120,12 @@ func newAppendRing(bytes int) *appendRing {
 // ringAppend is the lock-free append fast path: reserve, fill in place,
 // publish. It takes mu only when the ring is out of space or a drainer is
 // parked waiting for bytes.
+//
+// The poisoned check is advisory: an append racing a concurrent poisoning
+// can still reserve, fill and return a valid LSN for a record that will
+// never become durable. That is by design — Append has never promised
+// durability; WaitDurable is the durability gate and surfaces the sticky
+// I/O error for any such record.
 func (m *Manager) ringAppend(r *Record) (LSN, error) {
 	rg := m.ring
 	size := r.marshaledSize() + frameHeader

@@ -466,3 +466,48 @@ func TestRingLegacyByteIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestRingWaiterPublishRace hammers the flush-leader/publisher interleaving
+// that once lost wakeups: the leader drained, a publisher then landed its
+// cells and loaded waiters==0 (skipping the broadcast), and the leader
+// raised waiters only afterwards and parked on a check fed by the stale
+// pre-publish drain — leader on ringCond, publisher behind flushActive,
+// forever. Two committers doing append+WaitDurable in lockstep hit exactly
+// that window; the failure mode is a deadlock, so the test runs under a
+// watchdog rather than asserting values.
+func TestRingWaiterPublishRace(t *testing.T) {
+	m := openRingStore(t, Config{AppendRingBytes: minAppendRingBytes, Sync: testSyncPolicy(t)})
+	iters := 2000
+	if testing.Short() {
+		iters = 300
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					rec := &Record{Type: TypeCommit, TxnID: uint64(w)<<32 | uint64(i), PageID: 1, WallClock: int64(i)}
+					lsn, err := m.Append(rec)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := m.WaitDurable(lsn); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("committers parked past the watchdog: missed ring wakeup")
+	}
+}
