@@ -32,9 +32,16 @@
 //	                                          its local log to downstream
 //	                                          replicas on LISTEN (chains
 //	                                          compose: primary → R1 → R2 …)
-//	asofctl repl-status ADDR                  per-replica shipped/applied/
-//	                                          durable/retained LSNs and lag;
-//	                                          cascades render as a tree
+//	asofctl repl-status ADDR                  per-replica timeline/shipped/
+//	                                          applied/durable/retained LSNs
+//	                                          and lag; cascades render as a
+//	                                          tree
+//	asofctl -db DIR promote                   promote the standby at DIR onto
+//	                                          a new timeline (the manual
+//	                                          failover step: survivors at or
+//	                                          below the fork may resubscribe
+//	                                          to it; nodes past the fork must
+//	                                          reseed)
 //	asofctl -db DIR count-asof-standby RFC3339 TABLE
 //	                                          count rows as of a past time
 //	                                          on a standby directory
@@ -109,6 +116,14 @@ func main() {
 	case "repl-status":
 		need(args, 2)
 		replStatus(args[1])
+		return
+	case "promote":
+		// Promotion must open the directory in standby mode (Promote runs
+		// the recovery-and-fork sequence itself), never through asofdb.Open.
+		if *dbdir == "" {
+			fatal(fmt.Errorf("promote requires -db"))
+		}
+		promoteStandby(*dbdir)
 		return
 	case "log-ls":
 		// Offline inspection: reads segment headers only, never opens the
@@ -425,25 +440,51 @@ func replStatus(addr string) {
 		fmt.Println("no replicas connected")
 		return
 	}
-	fmt.Printf("%-12s %-12s %-12s %-12s %-12s %-12s %-10s %-10s %s\n",
-		"id", "upstream", "shipped", "applied", "durable", "retained", "lag-bytes", "lag", "last-commit")
+	fmt.Printf("%-12s %-4s %-12s %-12s %-12s %-12s %-12s %-10s %-10s %s\n",
+		"id", "tli", "upstream", "shipped", "applied", "durable", "retained", "lag-bytes", "lag", "last-commit")
 	printReplTree(sts, "")
 }
 
 // printReplTree renders a shipper status report, recursing into each
 // subscriber's own downstream fan-out (cascading standbys) with one level
 // of indentation per hop. "upstream" is each hop's source durable LSN —
-// the primary at depth 0, the mid-tier standby below.
+// the primary at depth 0, the mid-tier standby below. "tli" is the timeline
+// the subscriber presented at its handshake: a node showing an older
+// timeline than its siblings is following a lineage the next promotion may
+// strand.
 func printReplTree(sts []repl.SubscriberStatus, indent string) {
 	for _, st := range sts {
 		lag := fmt.Sprintf("%.1fs", st.LagSeconds)
 		if st.Idle {
 			lag = "idle"
 		}
-		fmt.Printf("%-12s %-12d %-12d %-12d %-12d %-12d %-10d %-10s %s\n",
-			fmt.Sprintf("%s%d", indent, st.ID), st.PrimaryDurable, st.Shipped, st.Applied,
+		fmt.Printf("%-12s %-4d %-12d %-12d %-12d %-12d %-12d %-10d %-10s %s\n",
+			fmt.Sprintf("%s%d", indent, st.ID), st.Timeline, st.PrimaryDurable, st.Shipped, st.Applied,
 			st.ReplicaDurable, st.Retained, st.LagBytes, lag, fmtTime(st.LastCommitAt))
 		printReplTree(st.Downstream, indent+"└ ")
+	}
+}
+
+// promoteStandby ends dir's life as a standby: local recovery completes its
+// applied state, the log forks onto a fresh timeline recording the fork
+// point, and the engine reopens writable. The printed lineage is what every
+// other node's subscription will be checked against.
+func promoteStandby(dir string) {
+	rep, err := repl.OpenReplica(dir, repl.ReplicaOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	db, err := rep.Promote()
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	tli, hist := db.Timeline()
+	fmt.Printf("promoted %s: now primary on %s, durable end %v\n", dir, wal.DescribeLineage(tli, hist), db.Log().FlushedLSN())
+	if len(hist) > 0 {
+		fork := hist[len(hist)-1]
+		fmt.Printf("forked from timeline %d at %v: standbys at or below the fork may resubscribe; nodes holding bytes past it must reseed\n",
+			fork.TLI, fork.End)
 	}
 }
 

@@ -1,0 +1,114 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Waiter is the optional timer extension of Clock: a source that can also
+// produce one-shot timer channels measured on its own notion of time.
+// Virtual clocks implement it so waits fire on Advance; for plain clocks
+// the After helper falls back to the system timer.
+type Waiter interface {
+	After(d time.Duration) <-chan time.Time
+}
+
+// After returns a channel that fires once d has elapsed on c: through c's
+// own timers when it implements Waiter, through the system timer
+// otherwise.
+func After(c Clock, d time.Duration) <-chan time.Time {
+	if w, ok := c.(Waiter); ok {
+		return w.After(d)
+	}
+	return time.After(d)
+}
+
+// Sleeper is the optional blocking-wait extension of Clock.
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
+// SleepFor blocks for d measured on c when c implements Sleeper, and for d
+// of real time otherwise. Poll loops use it so their cadence follows an
+// injected clock when one that models sleeping is supplied, without
+// deadlocking on virtual clocks (like Mock) that deliberately do not —
+// a virtual clock only moves when the test advances it, so a virtual
+// sleep inside the loop under test would wait forever.
+func SleepFor(c Clock, d time.Duration) {
+	if s, ok := c.(Sleeper); ok {
+		s.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Mock is a virtual clock with firing timers: Now is frozen until Advance
+// moves it, and channels handed out by After fire (with their deadline as
+// the stamp) when Advance crosses them. It deliberately implements Waiter
+// but not Sleeper, so code that polls with SleepFor keeps making real-time
+// progress while code that waits with After is released at exact virtual
+// instants. Safe for concurrent use.
+type Mock struct {
+	mu     sync.Mutex
+	t      time.Time
+	timers []mockTimer
+}
+
+type mockTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewMock returns a virtual clock starting at start.
+func NewMock(start time.Time) *Mock { return &Mock{t: start} }
+
+// Now implements Clock.
+func (m *Mock) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+// Set jumps the clock to t (backwards jumps do not unfire timers).
+func (m *Mock) Set(t time.Time) {
+	m.mu.Lock()
+	m.t = t
+	m.fireLocked()
+	m.mu.Unlock()
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is crossed, and returns the new time.
+func (m *Mock) Advance(d time.Duration) time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.t = m.t.Add(d)
+	m.fireLocked()
+	return m.t
+}
+
+// After implements Waiter on virtual time. A non-positive d fires
+// immediately.
+func (m *Mock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d <= 0 {
+		ch <- m.t
+		return ch
+	}
+	m.timers = append(m.timers, mockTimer{at: m.t.Add(d), ch: ch})
+	return ch
+}
+
+func (m *Mock) fireLocked() {
+	kept := m.timers[:0]
+	for _, tm := range m.timers {
+		if !tm.at.After(m.t) {
+			tm.ch <- tm.at // buffered; never blocks
+		} else {
+			kept = append(kept, tm)
+		}
+	}
+	m.timers = kept
+}

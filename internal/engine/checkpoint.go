@@ -43,6 +43,7 @@ func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	prevEnd := db.boot.lastCkptEnd
 	db.mu.Unlock()
+	tli, hist := db.Timeline()
 	end := &wal.Record{
 		Type:      wal.TypeCheckpointEnd,
 		PageID:    wal.NoPage,
@@ -54,6 +55,10 @@ func (db *DB) Checkpoint() error {
 			// Piggyback the time→LSN samples taken since the previous
 			// checkpoint so the sparse index survives restarts (§5.1).
 			Times: db.log.TimeSamplesSince(prevEnd),
+			// Carry the lineage so replicas adopt promotions from the
+			// stream itself, not just the handshake.
+			TLI:     tli,
+			History: hist,
 		}),
 	}
 	endLSN, err := db.log.AppendFlush(end)

@@ -251,6 +251,13 @@ type bootBlock struct {
 	roots       catalog.Roots
 	lastCkptEnd wal.LSN
 	createdAt   int64
+	// tli and history are the node's timeline lineage (see wal.TimelineID):
+	// which branch of log history this node is on and where each ancestor
+	// branch ended. tli 0 means "not yet known" — a fresh standby before its
+	// first handshake, or metadata written before timelines existed, both of
+	// which read back as timeline 1 with an empty history.
+	tli     wal.TimelineID
+	history wal.TimelineHistory
 }
 
 // bootMagic's version byte was bumped to 2 when the WAL record encoding
@@ -501,14 +508,58 @@ func (db *DB) Promote(att []wal.ATTEntry) error {
 	if !db.standby.CompareAndSwap(true, false) {
 		return errors.New("engine: promote of a non-standby database")
 	}
+	// The fork point is the last shipped byte: everything at or below it is
+	// the ancestor timeline's history, everything after (the undo pass's
+	// CLRs onward) belongs to the new timeline this promotion forks.
+	fork := db.log.NextLSN() - 1
 	if err := db.UndoTransactions(att); err != nil {
 		return fmt.Errorf("engine: promote undo (database needs recovery, not standby resumption): %w", err)
 	}
+	db.mu.Lock()
+	cur := db.boot.tli
+	if cur == 0 {
+		cur = 1
+	}
+	db.boot.history = append(db.boot.history.Clone(), wal.TimelineFork{TLI: cur, End: fork})
+	db.boot.tli = cur + 1
+	db.mu.Unlock()
+	// The post-promotion checkpoint persists the new lineage in both the
+	// boot metadata and the checkpoint record, so downstream replicas adopt
+	// it from the stream.
 	if err := db.Checkpoint(); err != nil {
 		return fmt.Errorf("engine: promote checkpoint (database needs recovery, not standby resumption): %w", err)
 	}
 	return nil
 }
+
+// Timeline returns the node's current timeline and fork history. A node
+// whose lineage was never recorded (fresh standby before its handshake, or
+// a database from before timelines existed) is timeline 1 with no history.
+func (db *DB) Timeline() (wal.TimelineID, wal.TimelineHistory) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.boot.tli == 0 {
+		return 1, nil
+	}
+	return db.boot.tli, db.boot.history.Clone()
+}
+
+// SetTimeline installs a lineage learned from the replication stream (a
+// standby adopting its upstream's identity). Persistence is the caller's
+// concern — PersistBoot once the standby is bootstrapped.
+func (db *DB) SetTimeline(tli wal.TimelineID, hist wal.TimelineHistory) error {
+	if err := hist.Validate(tli); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.boot.tli, db.boot.history = tli, hist.Clone()
+	db.mu.Unlock()
+	return nil
+}
+
+// Closed reports whether the database has been closed (or crashed). The
+// orchestrator's default primary health probe keys off it.
+func (db *DB) Closed() bool { return db.closed.Load() }
 
 // create formats a fresh database: boot page, first allocation map, and the
 // bootstrap system transaction that builds the catalog trees.
@@ -542,7 +593,7 @@ func (db *DB) create() error {
 		return err
 	}
 	db.mu.Lock()
-	db.boot = bootBlock{roots: roots, createdAt: db.opts.Now().UnixNano()}
+	db.boot = bootBlock{roots: roots, createdAt: db.opts.Now().UnixNano(), tli: 1}
 	db.mu.Unlock()
 	if err := db.writeBoot(); err != nil {
 		return err
@@ -643,12 +694,72 @@ func (db *DB) decodeBootBlock(b []byte) error {
 
 const bootBlockSize = 40
 
+// encodeBootTimeline renders the timeline extension that follows the fixed
+// boot block: tli u32 | nForks u32 | nForks × (tli u32, end u64). A tli of
+// 0 (lineage not yet known) encodes as an all-zero header, which is also
+// what pre-timeline boot pages contain past the block — both read back as
+// "legacy".
+func (db *DB) encodeBootTimeline() []byte {
+	db.mu.Lock()
+	tli, hist := db.boot.tli, db.boot.history
+	db.mu.Unlock()
+	buf := make([]byte, 8+12*len(hist))
+	binary.LittleEndian.PutUint32(buf, uint32(tli))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(hist)))
+	for i, f := range hist {
+		binary.LittleEndian.PutUint32(buf[8+12*i:], uint32(f.TLI))
+		binary.LittleEndian.PutUint64(buf[12+12*i:], uint64(f.End))
+	}
+	return buf
+}
+
+// decodeBootTimeline parses a timeline extension (the bytes after the
+// fixed boot block). Missing or all-zero extensions are the pre-timeline
+// layout and upgrade to timeline 1 with an empty history.
+func decodeBootTimeline(b []byte) (wal.TimelineID, wal.TimelineHistory, error) {
+	if len(b) < 8 {
+		return 1, nil, nil // pre-timeline layout
+	}
+	tli := wal.TimelineID(binary.LittleEndian.Uint32(b))
+	if tli == 0 {
+		return 1, nil, nil // pre-timeline layout (zero fill)
+	}
+	n := int(binary.LittleEndian.Uint32(b[4:]))
+	if len(b) < 8+12*n {
+		return 0, nil, fmt.Errorf("engine: boot timeline extension %d bytes for %d forks", len(b), n)
+	}
+	var hist wal.TimelineHistory
+	for i := 0; i < n; i++ {
+		hist = append(hist, wal.TimelineFork{
+			TLI: wal.TimelineID(binary.LittleEndian.Uint32(b[8+12*i:])),
+			End: wal.LSN(binary.LittleEndian.Uint64(b[12+12*i:])),
+		})
+	}
+	if err := hist.Validate(tli); err != nil {
+		return 0, nil, err
+	}
+	return tli, hist, nil
+}
+
+func (db *DB) installBootTimeline(b []byte) error {
+	tli, hist, err := decodeBootTimeline(b)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.boot.tli, db.boot.history = tli, hist
+	db.mu.Unlock()
+	return nil
+}
+
 func (db *DB) bootMetaPath() string { return filepath.Join(db.dir, bootMetaName) }
 
 func (db *DB) writeBoot() error {
+	ext := db.encodeBootTimeline()
 	p := page.New()
 	p.Format(alloc.BootPage, page.TypeBoot, 0)
 	db.encodeBootBlock(p.Bytes()[bootPayload:])
+	copy(p.Bytes()[bootPayload+bootBlockSize:], ext)
 	p.WriteChecksum()
 	if err := db.data.WritePage(alloc.BootPage, p.Bytes()); err != nil {
 		return err
@@ -656,9 +767,10 @@ func (db *DB) writeBoot() error {
 	// Sidecar second: on success readBoot prefers it; a crash in between
 	// leaves the previous sidecar, whose older checkpoint pointer is a
 	// valid (merely earlier) recovery starting hint.
-	buf := make([]byte, bootBlockSize+4)
+	buf := make([]byte, bootBlockSize+len(ext)+4)
 	db.encodeBootBlock(buf)
-	binary.LittleEndian.PutUint32(buf[bootBlockSize:], crc32.ChecksumIEEE(buf[:bootBlockSize]))
+	copy(buf[bootBlockSize:], ext)
+	binary.LittleEndian.PutUint32(buf[bootBlockSize+len(ext):], crc32.ChecksumIEEE(buf[:bootBlockSize+len(ext)]))
 	if err := fsutil.AtomicWriteFile(db.bootMetaPath(), buf, db.opts.SyncPolicy == wal.SyncData); err != nil {
 		return fmt.Errorf("engine: boot meta: %w", err)
 	}
@@ -667,12 +779,13 @@ func (db *DB) writeBoot() error {
 
 func (db *DB) readBoot() error {
 	// Prefer the crash-atomic sidecar; fall back to page 0 (pre-sidecar
-	// databases, or a sidecar lost with its directory entry).
+	// databases, or a sidecar lost with its directory entry). Pre-timeline
+	// sidecars are exactly block+CRC; the generalized check accepts both.
 	if buf, err := os.ReadFile(db.bootMetaPath()); err == nil &&
-		len(buf) == bootBlockSize+4 &&
-		crc32.ChecksumIEEE(buf[:bootBlockSize]) == binary.LittleEndian.Uint32(buf[bootBlockSize:]) {
+		len(buf) >= bootBlockSize+4 &&
+		crc32.ChecksumIEEE(buf[:len(buf)-4]) == binary.LittleEndian.Uint32(buf[len(buf)-4:]) {
 		if err := db.decodeBootBlock(buf[:bootBlockSize]); err == nil {
-			return nil
+			return db.installBootTimeline(buf[bootBlockSize : len(buf)-4])
 		}
 	}
 	buf := make([]byte, page.Size)
@@ -683,7 +796,10 @@ func (db *DB) readBoot() error {
 	if err := p.VerifyChecksum(); err != nil {
 		return fmt.Errorf("engine: boot page: %w", err)
 	}
-	return db.decodeBootBlock(buf[bootPayload:])
+	if err := db.decodeBootBlock(buf[bootPayload:]); err != nil {
+		return err
+	}
+	return db.installBootTimeline(buf[bootPayload+bootBlockSize:])
 }
 
 // DecodeBootRoots extracts the catalog roots from a raw boot page image.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/asof"
+	"repro/internal/clock"
 	"repro/internal/engine"
 	"repro/internal/fsutil"
 	"repro/internal/wal"
@@ -301,7 +302,13 @@ func (r *Replica) Run(conn Conn) error {
 	r.pending = r.pending[:0]
 	r.pendingAt = r.db.Log().NextLSN()
 
-	if err := conn.Send(&Frame{Kind: KindSubscribe, From: r.pendingAt}); err != nil {
+	// The subscribe frame presents this node's effective identity — the
+	// timeline owning the last byte it actually holds plus the history
+	// below it — which is what the server's ancestry check admits or
+	// refuses mechanically.
+	sub := nodeIdentityAt(r.db, r.pendingAt-1)
+	if err := conn.Send(&Frame{Kind: KindSubscribe, From: r.pendingAt,
+		Payload: appendTimelineInfo(nil, sub)}); err != nil {
 		return err
 	}
 	hello, err := conn.Recv()
@@ -310,11 +317,14 @@ func (r *Replica) Run(conn Conn) error {
 	}
 	switch hello.Kind {
 	case KindError:
+		if hello.From == errClassTimeline {
+			return &timelineRefusal{msg: fmt.Sprintf("repl: primary refused subscription: %s", hello.Payload)}
+		}
 		return fmt.Errorf("%w: %s", ErrSubscriptionRejected, hello.Payload)
 	case KindPromoted:
 		// The promotion fence can race the subscribe handshake; surface the
 		// same typed error as mid-stream so callers don't retry forever.
-		return r.upstreamPromoted(hello.From)
+		return r.upstreamPromoted(hello)
 	case KindHello:
 	default:
 		return fmt.Errorf("repl: expected hello, got %v", hello.Kind)
@@ -329,6 +339,18 @@ func (r *Replica) Run(conn Conn) error {
 	r.primaryDurable.Store(uint64(hello.Durable))
 	if !r.db.Bootstrapped() {
 		if err := r.db.InitStandbyBoot(info.Roots, info.CreatedAt); err != nil {
+			return err
+		}
+	}
+	if info.Lineage.TLI != 0 {
+		// Defense in depth: verify the admission the server just granted,
+		// then adopt its lineage — every byte ingested on this session is,
+		// by construction, a byte of the server's history, so the server's
+		// identity is now this node's identity for all bytes it will hold.
+		if err := checkAncestry(info.Lineage.TLI, info.Lineage.History, sub, r.pendingAt); err != nil {
+			return err
+		}
+		if err := r.adoptLineage(info.Lineage); err != nil {
 			return err
 		}
 	}
@@ -364,9 +386,16 @@ func (r *Replica) Run(conn Conn) error {
 				}
 			}
 		case KindError:
+			if f.From == errClassTimeline {
+				// A mid-session lineage fence: the source adopted a new
+				// timeline (its own upstream was promoted) and this node's
+				// position is past the fork. Typed like the handshake
+				// refusal so callers stop retrying and reseed.
+				return &timelineRefusal{msg: fmt.Sprintf("repl: primary fenced session: %s", f.Payload)}
+			}
 			return fmt.Errorf("repl: primary error: %s", f.Payload)
 		case KindPromoted:
-			return r.upstreamPromoted(f.From)
+			return r.upstreamPromoted(f)
 		default:
 			return fmt.Errorf("repl: unexpected %v frame mid-stream", f.Kind)
 		}
@@ -391,21 +420,55 @@ func (r *Replica) Run(conn Conn) error {
 // reassign, so resubscribing to the promoted node would splice timelines
 // into a CRC-valid but divergent local log. It must follow the old
 // primary's timeline or be reseeded.
-func (r *Replica) upstreamPromoted(fork wal.LSN) error {
-	if end := r.db.Log().NextLSN() - 1; end > fork {
-		return fmt.Errorf("%w (fork at %v but this replica holds %v — it is AHEAD of the promoted node's fork; "+
-			"re-point it at the old primary's timeline or reseed it, never at the promoted node)",
-			ErrUpstreamPromoted, fork, end)
+func (r *Replica) upstreamPromoted(f *Frame) error {
+	fork := f.From
+	newLineage := ""
+	if lin, err := decodeTimelineInfo(f.Payload); err == nil && lin.TLI != 0 {
+		newLineage = fmt.Sprintf("; the promoted node continues as %s", wal.DescribeLineage(lin.TLI, lin.History))
 	}
-	return fmt.Errorf("%w (fork begins after %v; resubscribe to the promoted node or the old primary, or orphan this replica)",
-		ErrUpstreamPromoted, fork)
+	if end := r.db.Log().NextLSN() - 1; end > fork {
+		return fmt.Errorf("%w (fork at %v but this replica holds %v — it is AHEAD of the promoted node's fork%s; "+
+			"re-point it at a node still on its own timeline or reseed it; the promoted node will refuse it mechanically)",
+			ErrUpstreamPromoted, fork, end, newLineage)
+	}
+	return fmt.Errorf("%w (fork begins after %v%s; resubscribe to the promoted node or the old primary, or orphan this replica)",
+		ErrUpstreamPromoted, fork, newLineage)
+}
+
+// adoptLineage replaces this node's timeline identity with its upstream's
+// (handshake) or a newer one observed in the stream (checkpoint records):
+// from now on the node's bytes are bytes of that lineage. Persisted
+// immediately — not at checkpoint cadence — because a crash between
+// adopting and persisting would let the node present a stale identity and
+// be admitted somewhere its new bytes don't belong.
+func (r *Replica) adoptLineage(lin timelineInfo) error {
+	curTLI, curHist := r.db.Timeline()
+	if lin.TLI == curTLI && len(lin.History) == len(curHist) {
+		same := true
+		for i := range curHist {
+			if curHist[i] != lin.History[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return nil
+		}
+	}
+	if err := r.db.SetTimeline(lin.TLI, lin.History); err != nil {
+		return err
+	}
+	if r.db.Bootstrapped() {
+		return r.db.PersistBoot()
+	}
+	return nil
 }
 
 // statusAckEvery rate-limits the downstream-status piggyback on acks: the
 // per-batch acks of a busy stream are the apply hot path, and the status
-// is advisory monitoring nobody renders faster than this. Wall-clock (not
-// the injected engine clock): it bounds real marshaling work per real
-// second.
+// is advisory monitoring nobody renders faster than this. Measured on the
+// standby's injected clock (ROADMAP determinism guardrail), which is the
+// system clock in production.
 const statusAckEvery = 500 * time.Millisecond
 
 // sendAck reports apply progress. A cascading hop piggybacks its own
@@ -416,10 +479,10 @@ const statusAckEvery = 500 * time.Millisecond
 // goroutine, so statusAckAt needs no lock.
 func (r *Replica) sendAck(conn Conn, heartbeat bool) error {
 	var payload []byte
-	if s := r.cascadeShipper(); s != nil && (heartbeat || time.Since(r.statusAckAt) >= statusAckEvery) {
+	if s := r.cascadeShipper(); s != nil && (heartbeat || r.db.Now().Sub(r.statusAckAt) >= statusAckEvery) {
 		if sts := s.Status(); len(sts) > 0 {
 			payload, _ = json.Marshal(sts)
-			r.statusAckAt = time.Now()
+			r.statusAckAt = r.db.Now()
 		}
 	}
 	return conn.Send(&Frame{
@@ -719,6 +782,12 @@ func (r *Replica) observe(rec *wal.Record) {
 				Begin:     data.BeginLSN,
 				End:       rec.LSN,
 			})
+			// Adopt promotions carried in the stream itself — monotonically,
+			// so replaying pre-fork checkpoints during catch-up can never
+			// regress a lineage the handshake already installed.
+			if cur, _ := r.db.Timeline(); data.TLI > cur {
+				_ = r.adoptLineage(timelineInfo{TLI: data.TLI, History: data.History})
+			}
 		}
 	}
 }
@@ -754,16 +823,21 @@ func (r *Replica) checkpoint() error {
 // by SnapshotWait) for the apply loop to pass the resolved SplitLSN when
 // the request races ahead of replication.
 func (r *Replica) SnapshotAsOf(at time.Time) (*asof.Snapshot, error) {
-	deadline := time.Now().Add(r.opts.SnapshotWait)
+	// Deadline on the injected clock, poll pacing via SleepFor: under a
+	// virtual clock the wait expires at an exact virtual instant (tests
+	// advance the clock) while the poll itself keeps making real-time
+	// progress instead of deadlocking on frozen time.
+	ck := r.db.Clock()
+	deadline := ck.Now().Add(r.opts.SnapshotWait)
 	for {
 		s, err := asof.CreateSnapshot(r.db, at, nil)
 		if err == nil || !errors.Is(err, asof.ErrReplicaLagging) {
 			return s, err
 		}
-		if time.Now().After(deadline) {
+		if ck.Now().After(deadline) {
 			return nil, err
 		}
-		time.Sleep(time.Millisecond)
+		clock.SleepFor(ck, time.Millisecond)
 	}
 }
 
@@ -778,6 +852,10 @@ type ReplicaStatus struct {
 	Batches        int64         `json:"batches"`
 	Bytes          int64         `json:"bytes"`
 	Records        int64         `json:"records"`
+	// Timeline is the effective identity of the replica's log end — the
+	// timeline owning the last byte actually held, which is what the node
+	// would present if it resubscribed right now.
+	Timeline wal.TimelineID `json:"timeline,omitempty"`
 }
 
 // Status reports the replica's apply progress and observed lag. LagTime is
@@ -793,6 +871,7 @@ func (r *Replica) Status() ReplicaStatus {
 		Bytes:          r.appliedBytes.Load(),
 		Records:        r.appliedRecords.Load(),
 	}
+	st.Timeline = nodeIdentityAt(r.db, r.db.Log().NextLSN()-1).TLI
 	if lag := int64(st.PrimaryDurable) - int64(st.Applied); lag > 0 {
 		st.LagBytes = lag
 	}
@@ -826,7 +905,17 @@ func (r *Replica) Promote() (*engine.DB, error) {
 	// fresh Shipper over the returned engine) or back at the old primary an
 	// exact, deterministic resubscription.
 	if s := r.cascadeShipper(); s != nil {
-		s.closeWith(&Frame{Kind: KindPromoted, From: r.db.Log().NextLSN() - 1})
+		// The fence carries the identity this node is about to assume, so a
+		// fenced child's error can tell the operator exactly where to
+		// re-point it. Computed here — before db.Promote bumps the boot
+		// block — from the same fork LSN the fence announces.
+		fork := r.db.Log().NextLSN() - 1
+		curTLI, curHist := r.db.Timeline()
+		next := timelineInfo{
+			TLI:     curTLI + 1,
+			History: append(curHist.Clone(), wal.TimelineFork{TLI: curTLI, End: fork}),
+		}
+		s.closeWith(&Frame{Kind: KindPromoted, From: fork, Payload: appendTimelineInfo(nil, next)})
 	}
 	r.db.EnsureTxnIDAfter(r.st.MaxTxn)
 	if err := r.db.Promote(r.st.Inflight()); err != nil {

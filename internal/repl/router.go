@@ -98,10 +98,10 @@ type Route struct {
 // of a cascade qualify — a token only compares against applied LSNs, and
 // LSNs are identical at every hop.
 type Router struct {
-	opts    RouterOptions
-	primary *engine.DB // fallback target; nil = no fallback
+	opts RouterOptions
 
 	mu       sync.RWMutex
+	primary  *engine.DB // fallback target; nil = no fallback
 	standbys map[string]*Replica
 }
 
@@ -128,6 +128,24 @@ func (rt *Router) RemoveStandby(name string) {
 	rt.mu.Lock()
 	delete(rt.standbys, name)
 	rt.mu.Unlock()
+}
+
+// SetPrimary repoints the fallback target — the failover handoff: the
+// orchestrator promotes a standby, removes it from rotation, and installs
+// the returned engine here. In-flight Picks see the new primary on their
+// next poll iteration; session tokens stay valid because the promoted
+// node's log contains every acknowledged commit ≤ the fork.
+func (rt *Router) SetPrimary(db *engine.DB) {
+	rt.mu.Lock()
+	rt.primary = db
+	rt.mu.Unlock()
+}
+
+// Primary returns the current fallback target (nil when none).
+func (rt *Router) Primary() *engine.DB {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.primary
 }
 
 // best returns the registered standby with the highest applied LSN.
@@ -163,13 +181,14 @@ func (rt *Router) Pick(token wal.LSN) (Route, error) {
 		// an empty fleet (none registered yet, or the last standby pulled
 		// from rotation mid-failover) won't, so a configured primary serves
 		// immediately instead of charging every read the full wait budget.
-		if (rep == nil || rt.opts.Clock.Now().After(deadline)) && rt.primary != nil {
-			return Route{Name: "primary", Primary: true, AppliedLSN: rt.primary.Log().FlushedLSN()}, nil
+		primary := rt.Primary()
+		if (rep == nil || rt.opts.Clock.Now().After(deadline)) && primary != nil {
+			return Route{Name: "primary", Primary: true, AppliedLSN: primary.Log().FlushedLSN()}, nil
 		}
 		if rt.opts.Clock.Now().After(deadline) {
 			return Route{}, fmt.Errorf("%w (token %v)", ErrNoRoute, token)
 		}
-		time.Sleep(rt.opts.Poll)
+		clock.SleepFor(rt.opts.Clock, rt.opts.Poll)
 	}
 }
 
@@ -189,7 +208,7 @@ func (rt *Router) SnapshotAsOf(sess *Session, at time.Time) (*asof.Snapshot, Rou
 	}
 	var snap *asof.Snapshot
 	if route.Primary {
-		snap, err = asof.CreateSnapshot(rt.primary, at, nil)
+		snap, err = asof.CreateSnapshot(rt.Primary(), at, nil)
 	} else {
 		snap, err = route.Replica.SnapshotAsOf(at)
 	}

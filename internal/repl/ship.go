@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/engine"
 	"repro/internal/wal"
 )
@@ -32,6 +33,10 @@ type ShipperOptions struct {
 	// MinBatchBytes is the coalescing target (default 64 KiB); batches at
 	// or above it never linger.
 	MinBatchBytes int
+	// FenceGrace bounds how long closeWith waits for promotion-fence fin
+	// frames to reach stalled peers (default 1s), measured on the source
+	// engine's injected clock so fence tests run at exact virtual times.
+	FenceGrace time.Duration
 }
 
 func (o ShipperOptions) withDefaults() ShipperOptions {
@@ -43,6 +48,9 @@ func (o ShipperOptions) withDefaults() ShipperOptions {
 	}
 	if o.MinBatchBytes <= 0 {
 		o.MinBatchBytes = 64 << 10
+	}
+	if o.FenceGrace <= 0 {
+		o.FenceGrace = time.Second
 	}
 	return o
 }
@@ -99,6 +107,7 @@ type subscriber struct {
 	ackedDurable atomic.Uint64 // replica's locally durable log end
 	lastCommitWC atomic.Int64  // commit wallclock last applied by the replica
 	connectedAt  time.Time
+	tli          wal.TimelineID // effective timeline at subscription
 	bytesShipped atomic.Int64
 	batchesSent  atomic.Int64
 
@@ -138,6 +147,9 @@ type SubscriberStatus struct {
 	Connected    time.Duration `json:"connected_seconds"`
 	BytesShipped int64         `json:"bytes_shipped"`
 	Batches      int64         `json:"batches"`
+	// Timeline is the subscriber's effective timeline at subscription (the
+	// branch of log history owning the last byte it held when it connected).
+	Timeline wal.TimelineID `json:"timeline,omitempty"`
 	// Idle reports a caught-up subscriber on an idle stream: everything
 	// durable here has been shipped and applied, so there is no lag —
 	// heartbeat clock beacons keep the acked positions fresh while no
@@ -213,7 +225,7 @@ func (s *Shipper) closeWith(fin *Frame) {
 	}()
 	select {
 	case <-finSent:
-	case <-time.After(time.Second):
+	case <-clock.After(s.db.Clock(), s.opts.FenceGrace):
 	}
 	close(s.stop)
 	// Close every serving connection — a session parked in a handshake Recv
@@ -241,6 +253,7 @@ func (s *Shipper) Status() []SubscriberStatus {
 			Applied:        wal.LSN(sub.ackedApplied.Load()),
 			ReplicaDurable: wal.LSN(sub.ackedDurable.Load()),
 			Retained:       retained,
+			Timeline:       sub.tli,
 			Connected:      now.Sub(sub.connectedAt),
 			BytesShipped:   sub.bytesShipped.Load(),
 			Batches:        sub.batchesSent.Load(),
@@ -405,6 +418,22 @@ func (s *Shipper) Serve(conn Conn) error {
 	if from == wal.NilLSN {
 		from = 1
 	}
+	// Timeline admission: the subscriber's position must be an ancestor of
+	// this node's lineage. This is the mechanical check that replaced the
+	// PR 5 prose-only guidance — an ahead-of-fork orphan is refused here
+	// with the reason and the remedy, before any floor or divergence logic
+	// (those assume a shared history) can park it or mislabel it.
+	subInfo, err := decodeTimelineInfo(req.Payload)
+	if err != nil {
+		_ = conn.Send(&Frame{Kind: KindError, Payload: []byte(err.Error())})
+		return fmt.Errorf("repl: subscribe: %w", err)
+	}
+	admitTLI, admitHist := s.db.Timeline()
+	if err := checkAncestry(admitTLI, admitHist, subInfo, from); err != nil {
+		_ = conn.Send(&Frame{Kind: KindError, From: errClassTimeline, Payload: []byte(err.Error())})
+		return fmt.Errorf("repl: refusing subscription at %v: %w", from, err)
+	}
+	sub.tli = subInfo.normalized().TLI
 	// A subscription below the live store's physical floor (retention
 	// dropped those segments) is served from the retention archive when one
 	// covers the resume point — the stream then reads archive and live
@@ -481,6 +510,7 @@ func (s *Shipper) Serve(conn Conn) error {
 			Roots:     s.db.Roots(),
 			CreatedAt: s.db.CreatedAt().UnixNano(),
 			TruncLSN:  log.TruncationPoint(),
+			Lineage:   timelineInfo{TLI: admitTLI, History: admitHist},
 		}),
 	}
 	if err := conn.Send(hello); err != nil {
@@ -532,6 +562,23 @@ func (s *Shipper) Serve(conn Conn) error {
 			}
 		}
 		if n > 0 {
+			// Mid-session lineage fence: a standby source adopts a new
+			// timeline when its own upstream is promoted, and a session that
+			// was parked ahead of this node's log end (waiting for it to
+			// regrow) would otherwise have new-timeline bytes spliced after
+			// its old-timeline tail — CRC-valid garbage. Before shipping a
+			// byte after any lineage change, re-admit the subscriber at its
+			// current position: every byte at or below off came from this
+			// very log under the old lineage, so its effective identity is
+			// the old lineage truncated at off.
+			if curTLI, curHist := s.db.Timeline(); curTLI != admitTLI {
+				et, eh := admitHist.TruncateAt(admitTLI, wal.LSN(off))
+				if err := checkAncestry(curTLI, curHist, timelineInfo{TLI: et, History: eh}, wal.LSN(off)+1); err != nil {
+					_ = conn.Send(&Frame{Kind: KindError, From: errClassTimeline, Payload: []byte(err.Error())})
+					return fmt.Errorf("repl: fencing subscriber at %v after timeline change: %w", wal.LSN(off)+1, err)
+				}
+				admitTLI, admitHist = curTLI, curHist
+			}
 			batch := &Frame{
 				Kind:      KindBatch,
 				From:      wal.LSN(off + 1),

@@ -42,6 +42,9 @@ const (
 	// KindError (primary → replica) aborts a session; Payload is a message.
 	// The canonical case: the subscription point predates the primary's
 	// retention truncation and the replica must be reseeded from a backup.
+	// From carries an error class (errClassGeneric / errClassTimeline —
+	// the field is otherwise unused on errors), so the replica can surface
+	// mechanical timeline-history refusals as ErrTimelineDiverged.
 	KindError FrameKind = 6
 	// KindStatus (either direction) requests (empty payload) or carries
 	// (JSON payload) the shipper's per-subscriber status — the wire surface
@@ -50,11 +53,23 @@ const (
 	// KindPromoted (upstream → replica) fences a cascade hop at promotion:
 	// the standby this replica was subscribed to has been promoted, its log
 	// forks after From (the promotion point), and no byte past the fork
-	// will ever be shipped on this session. The replica's Run returns
-	// ErrUpstreamPromoted; the operator then re-points the replica at the
-	// promoted node (every byte it holds is pre-fork, so resubscription is
-	// exact) or orphans it at its applied horizon.
+	// will ever be shipped on this session. Payload (when present) is the
+	// promoted node's new (timeline, history) identity. The replica's Run
+	// returns ErrUpstreamPromoted; the operator (or orchestrator) then
+	// re-points the replica at the promoted node (an at-or-behind-fork
+	// replica resubscribes exactly; the timeline handshake verifies it
+	// mechanically) or reseeds it.
 	KindPromoted FrameKind = 8
+)
+
+// KindError frames carry an error class in the otherwise-unused From field.
+const (
+	errClassGeneric  wal.LSN = 0
+	// errClassTimeline marks a mechanical timeline-history refusal: the
+	// subscriber's position is not an ancestor of the server's lineage.
+	// Retrying the same subscription can never succeed — the node must be
+	// re-pointed at a compatible server or reseeded.
+	errClassTimeline wal.LSN = 1
 )
 
 func (k FrameKind) String() string {
@@ -166,29 +181,36 @@ func (c *pipeConn) Close() error {
 // --- boot info payload (KindHello) ---
 
 // bootInfo is the unlogged primary state a fresh replica needs: the catalog
-// roots (written directly to the boot page at creation) and the database
-// creation time.
+// roots (written directly to the boot page at creation), the database
+// creation time, and — since timelines — the server's full lineage, which
+// the replica adopts as the identity of every byte it will ingest on this
+// session.
 type bootInfo struct {
 	Roots     catalog.Roots
 	CreatedAt int64
 	TruncLSN  wal.LSN
+	Lineage   timelineInfo
 }
 
+// bootInfoFixed is the pre-timeline payload size; hellos from pre-timeline
+// servers are exactly this long and decode with an unknown (0) lineage.
+const bootInfoFixed = 28
+
 func encodeBootInfo(b bootInfo) []byte {
-	buf := make([]byte, 28)
+	buf := make([]byte, bootInfoFixed, bootInfoFixed+timelineInfoSize(b.Lineage))
 	binary.LittleEndian.PutUint32(buf[0:], uint32(b.Roots.Tables))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(b.Roots.Names))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(b.Roots.Columns))
 	binary.LittleEndian.PutUint64(buf[12:], uint64(b.CreatedAt))
 	binary.LittleEndian.PutUint64(buf[20:], uint64(b.TruncLSN))
-	return buf
+	return appendTimelineInfo(buf, b.Lineage)
 }
 
 func decodeBootInfo(buf []byte) (bootInfo, error) {
-	if len(buf) < 28 {
+	if len(buf) < bootInfoFixed {
 		return bootInfo{}, fmt.Errorf("repl: hello payload is %d bytes", len(buf))
 	}
-	return bootInfo{
+	b := bootInfo{
 		Roots: catalog.Roots{
 			Tables:  page.ID(binary.LittleEndian.Uint32(buf[0:])),
 			Names:   page.ID(binary.LittleEndian.Uint32(buf[4:])),
@@ -196,7 +218,12 @@ func decodeBootInfo(buf []byte) (bootInfo, error) {
 		},
 		CreatedAt: int64(binary.LittleEndian.Uint64(buf[12:])),
 		TruncLSN:  wal.LSN(binary.LittleEndian.Uint64(buf[20:])),
-	}, nil
+	}
+	var err error
+	if b.Lineage, err = decodeTimelineInfo(buf[bootInfoFixed:]); err != nil {
+		return bootInfo{}, fmt.Errorf("repl: hello payload: %w", err)
+	}
+	return b, nil
 }
 
 // --- wire codec (shared by the TCP transport) ---

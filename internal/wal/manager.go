@@ -963,6 +963,13 @@ func (m *Manager) readCached(buf []byte, off int64) error {
 // that reopen a log written elsewhere).
 func (m *Manager) InvalidateCache() { m.cache.clear() }
 
+// InjectWriteFailures toggles the fault-injection hook chaos tests use:
+// while enabled, physical log writes fail with an injected error,
+// poisoning the manager exactly like a dying disk. The poisoning is
+// sticky — turning the hook back off does not heal the manager; the
+// store must be closed and reopened, as after a real device failure.
+func (m *Manager) InjectWriteFailures(on bool) { m.failWrites.Store(on) }
+
 // Scan iterates records in LSN order starting at from (or the truncation
 // point, if later), invoking fn for each until fn returns false or an
 // error, or the log ends. The scan is sequential I/O.

@@ -440,6 +440,11 @@ type CheckpointData struct {
 	// checkpoint, so the sparse index (see TimeSample) is rebuilt from the
 	// checkpoint chain at open and survives restarts.
 	Times []TimeSample
+	// TLI and History carry the checkpointing node's timeline lineage, so
+	// replicas replaying the stream adopt promotions they have applied.
+	// TLI 0 means the payload predates timelines (lineage unknown).
+	TLI     TimelineID
+	History TimelineHistory
 }
 
 // EncodeCheckpoint serializes d for Record.Extra.
@@ -462,6 +467,14 @@ func EncodeCheckpoint(d CheckpointData) []byte {
 	for _, s := range d.Times {
 		put(uint64(s.WallClock))
 		put(uint64(s.LSN))
+	}
+	if d.TLI != 0 {
+		put(uint64(d.TLI))
+		put(uint64(len(d.History)))
+		for _, f := range d.History {
+			put(uint64(f.TLI))
+			put(uint64(f.End))
+		}
 	}
 	return buf
 }
@@ -496,15 +509,35 @@ func DecodeCheckpoint(b []byte) (CheckpointData, error) {
 	if len(rest) < 8 {
 		return d, fmt.Errorf("wal: checkpoint payload trailer of %d bytes", len(rest))
 	}
-	if c := binary.LittleEndian.Uint64(rest); c != uint64(len(rest)-8)/16 || len(rest) != 8+16*int(c) {
-		return d, fmt.Errorf("wal: checkpoint payload trailer %d bytes for %d samples", len(rest), c)
-	}
 	ts := int(binary.LittleEndian.Uint64(rest))
+	if uint64(ts) > uint64(len(rest)-8)/16 {
+		return d, fmt.Errorf("wal: checkpoint payload trailer %d bytes for %d samples", len(rest), ts)
+	}
 	for i := 0; i < ts; i++ {
 		off := 8 + 16*i
 		d.Times = append(d.Times, TimeSample{
 			WallClock: int64(binary.LittleEndian.Uint64(rest[off:])),
 			LSN:       LSN(binary.LittleEndian.Uint64(rest[off+8:])),
+		})
+	}
+	rest = rest[8+16*ts:]
+	if len(rest) == 0 {
+		return d, nil // pre-timeline payload
+	}
+	// Timeline section: tli u64 | nForks u64 | nForks × (tli u64, end u64).
+	if len(rest) < 16 {
+		return d, fmt.Errorf("wal: checkpoint timeline trailer of %d bytes", len(rest))
+	}
+	d.TLI = TimelineID(binary.LittleEndian.Uint64(rest))
+	hn := int(binary.LittleEndian.Uint64(rest[8:]))
+	if len(rest) != 16+16*hn {
+		return d, fmt.Errorf("wal: checkpoint timeline trailer %d bytes for %d forks", len(rest), hn)
+	}
+	for i := 0; i < hn; i++ {
+		off := 16 + 16*i
+		d.History = append(d.History, TimelineFork{
+			TLI: TimelineID(binary.LittleEndian.Uint64(rest[off:])),
+			End: LSN(binary.LittleEndian.Uint64(rest[off+8:])),
 		})
 	}
 	return d, nil
