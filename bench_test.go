@@ -24,10 +24,12 @@ import (
 // commitBenchOptions builds the engine options for one BenchmarkCommitThroughput
 // arm. The serial arm disables the group-commit pipeline; the mutex arm
 // routes appends through the legacy mutex-serialized log tail instead of
-// the reservation ring. The pool is sized to hold the working set so the
-// numbers measure the commit path, not eviction I/O.
-func commitBenchOptions(serial, mutexLog bool) Options {
-	return Options{DisableGroupCommit: serial, DisableAppendRing: mutexLog, BufferFrames: 8192}
+// the reservation ring; the obsoff arm disables the metrics registry (the
+// observability-overhead A/B: ring vs ring/obsoff at equal committer counts
+// bounds the always-on cost). The pool is sized to hold the working set so
+// the numbers measure the commit path, not eviction I/O.
+func commitBenchOptions(serial, mutexLog, obsOff bool) Options {
+	return Options{DisableGroupCommit: serial, DisableAppendRing: mutexLog, DisableObs: obsOff, BufferFrames: 8192}
 }
 
 // benchScale is the Figure 7-11 workload: the database must dwarf a
@@ -205,17 +207,23 @@ func BenchmarkCommitThroughput(b *testing.B) {
 		committers int
 		serial     bool
 		mutexLog   bool
+		obsOff     bool
 	}{
-		{"ring/c=1", 1, false, false},
-		{"ring/c=2", 2, false, false},
-		{"ring/c=4", 4, false, false},
-		{"mutex/c=1", 1, false, true},
-		{"mutex/c=2", 2, false, true},
-		{"mutex/c=4", 4, false, true},
-		{"serial", 8, true, false},
+		{"ring/c=1", 1, false, false, false},
+		{"ring/c=2", 2, false, false, false},
+		{"ring/c=4", 4, false, false, false},
+		{"mutex/c=1", 1, false, true, false},
+		{"mutex/c=2", 2, false, true, false},
+		{"mutex/c=4", 4, false, true, false},
+		{"serial", 8, true, false, false},
+		// The observability A/B: identical to ring/c=1 and ring/c=4 with the
+		// metrics registry disabled. BENCH_PR8.json records the medians; the
+		// acceptance bar is ≤2% commits/s cost for always-on metrics.
+		{"obsoff/c=1", 1, false, false, true},
+		{"obsoff/c=4", 4, false, false, true},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			db, err := Open(b.TempDir(), commitBenchOptions(mode.serial, mode.mutexLog))
+			db, err := Open(b.TempDir(), commitBenchOptions(mode.serial, mode.mutexLog, mode.obsOff))
 			if err != nil {
 				b.Fatal(err)
 			}

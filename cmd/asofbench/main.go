@@ -51,6 +51,7 @@ func main() {
 		gcDelay    = flag.Duration("gcdelay", 0, "group-commit linger delay (0 = yield-based batching)")
 		gcBytes    = flag.Int("gcbytes", 0, "group-commit max pending bytes before an early force (0 = default)")
 		ringOff    = flag.Bool("ringoff", false, "disable the lock-free WAL append ring (mutex-serialized tail) for -fig commit")
+		obsOff     = flag.Bool("obsoff", false, "disable the metrics registry for -fig commit (the observability-overhead A/B arm)")
 		commitScl  = flag.String("commitscale", "", "comma-separated committer counts (e.g. 1,2,4) for a ring-vs-mutex scaling sweep of -fig commit")
 
 		// Log durability: every engine any figure opens uses this policy.
@@ -188,6 +189,7 @@ func main() {
 					GroupCommitMaxDelay: *gcDelay,
 					GroupCommitMaxBytes: *gcBytes,
 					DisableAppendRing:   mutexArm,
+					DisableObs:          *obsOff,
 				}
 				fmt.Printf("%-6s c=%d: ", arm, n)
 				if _, err := exp.CommitThroughput(fmt.Sprintf("%s/commit-scale-%s-%d", dir, arm, n), opts, os.Stdout); err != nil {
@@ -203,6 +205,7 @@ func main() {
 			GroupCommitMaxDelay: *gcDelay,
 			GroupCommitMaxBytes: *gcBytes,
 			DisableAppendRing:   *ringOff,
+			DisableObs:          *obsOff,
 		}
 		var serial, group exp.CommitResult
 		var err error

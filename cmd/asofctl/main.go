@@ -21,6 +21,17 @@
 //	                                          horizon; archived set too when
 //	                                          ARCHIVEDIR is given)
 //
+// Observability (the -obs ADDR flag on serve/replica/cascade additionally
+// exposes Prometheus /metrics, /metrics.json and pprof on ADDR):
+//
+//	asofctl -db DIR metrics                   one-shot Prometheus text dump
+//	                                          of the directory's registry
+//	asofctl top ADDR [INTERVAL]               live terminal view over a node
+//	                                          started with -obs ADDR: commit
+//	                                          rate and latency quantiles,
+//	                                          fsync p50/p99, pool hit rate,
+//	                                          per-replica lag
+//
 // Replication (log-shipped warm standbys, serving as-of queries):
 //
 //	asofctl -db DIR serve ADDR                run the primary and ship its
@@ -70,6 +81,7 @@ import (
 
 func main() {
 	dbdir := flag.String("db", "", "database directory (required)")
+	obsAddr := flag.String("obs", "", "serve Prometheus /metrics, /metrics.json and pprof on this address (serve/replica/cascade)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -87,21 +99,44 @@ func main() {
 		if *dbdir == "" {
 			fatal(fmt.Errorf("serve requires -db"))
 		}
-		servePrimary(*dbdir, args[1])
+		servePrimary(*dbdir, args[1], *obsAddr)
 		return
 	case "replica":
 		need(args, 2)
 		if *dbdir == "" {
 			fatal(fmt.Errorf("replica requires -db"))
 		}
-		runReplica(*dbdir, args[1], "")
+		runReplica(*dbdir, args[1], "", *obsAddr)
 		return
 	case "cascade":
 		need(args, 3)
 		if *dbdir == "" {
 			fatal(fmt.Errorf("cascade requires -db"))
 		}
-		runReplica(*dbdir, args[1], args[2])
+		runReplica(*dbdir, args[1], args[2], *obsAddr)
+		return
+	case "metrics":
+		// One-shot Prometheus text dump of the directory's registry — the
+		// scrape surface without a listener.
+		if *dbdir == "" {
+			fatal(fmt.Errorf("metrics requires -db"))
+		}
+		metricsDump(*dbdir)
+		return
+	case "top":
+		// Live terminal view over a node started with -obs.
+		need(args, 2)
+		every := time.Second
+		if len(args) > 2 {
+			d, err := time.ParseDuration(args[2])
+			if err != nil {
+				fatal(fmt.Errorf("bad refresh interval %q: %w", args[2], err))
+			}
+			every = d
+		}
+		if err := runTop(args[1], 0, every, os.Stdout); err != nil {
+			fatal(err)
+		}
 		return
 	case "route":
 		routeRead(args[1:])
@@ -255,13 +290,17 @@ func main() {
 }
 
 // servePrimary opens the database and ships its log to any replica that
-// connects on addr, printing per-replica status once a second.
-func servePrimary(dir, addr string) {
-	db, err := asofdb.Open(dir, asofdb.Options{})
+// connects on addr, printing per-replica status once a second. obsAddr, when
+// non-empty, exposes the metrics/pprof listener.
+func servePrimary(dir, addr, obsAddr string) {
+	db, err := asofdb.Open(dir, asofdb.Options{ObsListen: obsAddr})
 	if err != nil {
 		fatal(err)
 	}
 	defer db.Close()
+	if a := db.ObsAddr(); a != "" {
+		fmt.Println("metrics on http://" + a + "/metrics")
+	}
 	ship := repl.NewShipper(db, repl.ShipperOptions{})
 	defer ship.Close()
 	lis, err := repl.ListenAndServe(addr, ship)
@@ -288,12 +327,15 @@ func servePrimary(dir, addr string) {
 // listenAddr is non-empty — re-shipping its local log to downstream
 // replicas on listenAddr (the cascading mid-tier role; hops compose into
 // arbitrary fan-out trees). It reconnects on stream errors.
-func runReplica(dir, addr, listenAddr string) {
-	rep, err := repl.OpenReplica(dir, repl.ReplicaOptions{})
+func runReplica(dir, addr, listenAddr, obsAddr string) {
+	rep, err := repl.OpenReplica(dir, repl.ReplicaOptions{Engine: asofdb.Options{ObsListen: obsAddr}})
 	if err != nil {
 		fatal(err)
 	}
 	defer rep.Close()
+	if a := rep.DB().ObsAddr(); a != "" {
+		fmt.Println("metrics on http://" + a + "/metrics")
+	}
 	if listenAddr != "" {
 		cascade := rep.ShipLocal(repl.ShipperOptions{})
 		lis, err := repl.ListenAndServe(listenAddr, cascade)

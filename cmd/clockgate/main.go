@@ -1,0 +1,159 @@
+// Command clockgate enforces the repository's injected-clock guardrail
+// statically: the core packages (wal, engine, repl, asof, storage) must
+// read time only through internal/clock (or an injected Now func), never
+// from the runtime directly — that is what makes every durability schedule,
+// retention horizon, lag observation and histogram content reproducible at
+// exact virtual instants in tests.
+//
+// It parses every non-test Go file under the gated trees and fails on calls
+// to time.Now, time.Sleep or time.After, minus a small explicit allowlist
+// of real-time pacing knobs that deliberately ride the wall clock (each
+// entry names the file, the callee and the reason). Run from the repo root:
+//
+//	go run ./cmd/clockgate            # exits 1 and lists violations
+//	go run ./cmd/clockgate -root DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// gated are the directory trees under the guardrail — the layers whose
+// schedules the virtual-clock tests replay.
+var gated = []string{
+	"internal/wal",
+	"internal/engine",
+	"internal/repl",
+	"internal/asof",
+	"internal/storage",
+}
+
+// banned are the time-package functions that smuggle the runtime clock in.
+// (NewTimer/NewTicker are not listed: they pace real-goroutine wakeups, and
+// every gated use feeds a select that also honors the injected clock.)
+var banned = map[string]bool{"Now": true, "Sleep": true, "After": true}
+
+// allowed maps "path:callee" to the reason that use may ride the wall
+// clock. Keep this list short and the reasons honest: every entry is a spot
+// virtual-clock tests cannot schedule.
+var allowed = map[string]string{
+	// Batch coalescing linger: pure real-time pacing of the shipper
+	// goroutine between reads; stream correctness never depends on it.
+	"internal/repl/ship.go:Sleep": "batch-linger pacing of the shipper goroutine",
+	// Segment GC delay: real-time backoff before retrying unlink on
+	// platforms with lazy file handle release.
+	"internal/wal/manager.go:Sleep": "segment GC retry backoff",
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root to scan")
+	flag.Parse()
+
+	var violations []string
+	used := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, dir := range gated {
+		err := filepath.WalkDir(filepath.Join(*root, dir), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			rel, err := filepath.Rel(*root, path)
+			if err != nil {
+				return err
+			}
+			vs, err := scanFile(fset, path, filepath.ToSlash(rel), used)
+			if err != nil {
+				return err
+			}
+			violations = append(violations, vs...)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clockgate:", err)
+			os.Exit(2)
+		}
+	}
+	// A stale allowlist entry is itself a failure: it would silently cover
+	// a future reintroduction at the same site.
+	var stale []string
+	for key := range allowed {
+		if !used[key] {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	for _, key := range stale {
+		violations = append(violations, fmt.Sprintf("allowlist entry %q matches nothing; remove it", key))
+	}
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "clockgate:", v)
+		}
+		fmt.Fprintf(os.Stderr, "clockgate: %d violation(s); route time through internal/clock (see ROADMAP: determinism guardrail)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("clockgate: ok")
+}
+
+// scanFile reports banned time-package calls in one file. used records
+// which allowlist entries fired so stale ones can be flagged.
+func scanFile(fset *token.FileSet, path, rel string, used map[string]bool) ([]string, error) {
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the local name of the "time" import; a dot-import would make
+	// selector matching impossible, so it is banned outright in gated code.
+	timeName := ""
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != "time" {
+			continue
+		}
+		switch {
+		case imp.Name == nil:
+			timeName = "time"
+		case imp.Name.Name == ".":
+			return []string{fmt.Sprintf("%s: dot-imports the time package", rel)}, nil
+		case imp.Name.Name == "_":
+		default:
+			timeName = imp.Name.Name
+		}
+	}
+	if timeName == "" {
+		return nil, nil
+	}
+	var out []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != timeName || !banned[sel.Sel.Name] {
+			return true
+		}
+		key := rel + ":" + sel.Sel.Name
+		if _, ok := allowed[key]; ok {
+			used[key] = true
+			return true
+		}
+		pos := fset.Position(sel.Pos())
+		out = append(out, fmt.Sprintf("%s:%d: time.%s in gated package (inject internal/clock instead)",
+			rel, pos.Line, sel.Sel.Name))
+		return true
+	})
+	return out, nil
+}

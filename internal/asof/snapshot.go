@@ -11,6 +11,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/catalog"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/row"
 	"repro/internal/storage/buffer"
 	"repro/internal/storage/media"
@@ -111,7 +112,12 @@ func newSnapshot(db *engine.DB, point SplitPoint, asOf time.Time, sideDev *media
 			return nil, err
 		}
 	}
-	name := fmt.Sprintf("snap-%d.side", time.Now().UnixNano())
+	mountSpan := obs.StartSpan(db.Clock(),
+		db.Obs().DurationHistogram("asof_mount_seconds", "snapshot mount latency (split resolution excluded) to open-for-queries"))
+	// The side-file name rides the engine clock (not time.Now: core packages
+	// are clock-gated) plus a process-wide sequence — virtual clocks are
+	// frozen between advances, so a timestamp alone would collide.
+	name := fmt.Sprintf("snap-%d-%d.side", db.Now().UnixNano(), snapSeq.Add(1))
 	side, err := sidefile.Create(filepath.Join(db.Dir(), name), sideDev)
 	if err != nil {
 		return nil, err
@@ -149,8 +155,14 @@ func newSnapshot(db *engine.DB, point SplitPoint, asOf time.Time, sideDev *media
 	// Logical undo runs in the background (§5.2), opening the snapshot for
 	// queries immediately.
 	go s.backgroundUndo()
+	mountSpan.End()
+	db.Obs().Counter("asof_snapshot_mounts_total", "as-of snapshots mounted").Inc()
+	db.Obs().Gauge("asof_snapshots_open", "as-of snapshots currently mounted").Add(1)
 	return s, nil
 }
+
+// snapSeq disambiguates side-file names minted at the same clock reading.
+var snapSeq atomic.Int64
 
 // SplitLSN returns the snapshot's recovery target.
 func (s *Snapshot) SplitLSN() wal.LSN { return s.point.SplitLSN }
@@ -191,6 +203,15 @@ func (s *Snapshot) Close() error {
 		err = cerr
 	}
 	s.pool.Destroy() // recycle the snapshot's frames
+
+	// Fold the snapshot's chain-walk work into the database-wide counters
+	// (the per-snapshot Stats stay readable via Stats() while mounted; log
+	// blocks read by the walks are wal_undo_reads_total).
+	r := s.db.Obs()
+	r.Counter("asof_chainwalk_pages_total", "pages rewound by as-of chain walks").Add(s.stats.PagesPrepared.Load())
+	r.Counter("asof_chainwalk_records_total", "log records walked backwards by as-of prepares").Add(s.stats.RecordsUndone.Load())
+	r.Counter("asof_image_restores_total", "full page images restored by as-of prepares").Add(s.stats.ImageRestores.Load())
+	r.Gauge("asof_snapshots_open", "as-of snapshots currently mounted").Add(-1)
 	return err
 }
 

@@ -66,6 +66,7 @@ func (db *DB) maybeATTMark() {
 	// that won covers a later window.
 	if n := len(db.attMarks); n == 0 ||
 		(begin >= db.attMarks[n-1].Begin && end > db.attMarks[n-1].End) {
+		db.metrics.attMarks.Inc()
 		db.attMarks = append(db.attMarks, AnalysisMark{Begin: begin, End: end, ATT: att})
 		if len(db.attMarks) > maxATTMarks {
 			db.attMarks = append(db.attMarks[:0:0], db.attMarks[len(db.attMarks)-maxATTMarks/2:]...)

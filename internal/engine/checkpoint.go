@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -28,6 +29,7 @@ func (db *DB) Checkpoint() error {
 		// pages and persists apply state without log records.
 		return ErrStandby
 	}
+	ckptSpan := obs.StartSpan(db.opts.Clock, db.metrics.checkpointSeconds)
 	now := db.opts.Now().UnixNano()
 	begin := &wal.Record{Type: wal.TypeCheckpointBegin, PageID: wal.NoPage, WallClock: now}
 	beginLSN, err := db.log.Append(begin)
@@ -81,6 +83,7 @@ func (db *DB) Checkpoint() error {
 	if err := db.truncateForRetention(); err != nil {
 		return fmt.Errorf("engine: retention: %w", err)
 	}
+	ckptSpan.End()
 	return nil
 }
 

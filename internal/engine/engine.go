@@ -21,6 +21,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/clock"
 	"repro/internal/fsutil"
+	"repro/internal/obs"
 	"repro/internal/storage/buffer"
 	"repro/internal/storage/disk"
 	"repro/internal/storage/media"
@@ -117,6 +118,17 @@ type Options struct {
 	// mutex-serialized tail — the A/B arm for reservation-ring scaling
 	// comparisons. The log byte stream is identical either way.
 	DisableAppendRing bool
+
+	// DisableObs disables the observability registry entirely: no metrics,
+	// no latency spans, no extra clock reads on the commit path. This is
+	// the -obsoff A/B arm proving the always-on metrics cost stays ≤2% of
+	// commit throughput; production keeps metrics on.
+	DisableObs bool
+	// ObsListen, when set (e.g. "127.0.0.1:9187"), serves the metric
+	// registry over HTTP for the database's lifetime: Prometheus
+	// text-format /metrics, a flattened /metrics.json (what `asofctl top`
+	// scrapes), and /debug/pprof. Ignored under DisableObs.
+	ObsListen string
 
 	// Ablation switches (see DESIGN.md).
 	//
@@ -215,6 +227,13 @@ type DB struct {
 
 	// CheckpointCount counts checkpoints taken (introspection for tests).
 	CheckpointCount atomic.Int64
+
+	// obs is the metric registry (nil under Options.DisableObs — every
+	// handle in metrics is then nil, making observations no-ops); obsSrv is
+	// the opt-in HTTP listener (Options.ObsListen).
+	obs     *obs.Registry
+	metrics dbMetrics
+	obsSrv  *obs.Server
 }
 
 // txnShards partitions the live-transaction registry so Begin/finish on
@@ -304,9 +323,16 @@ func Open(dir string, opts Options) (*DB, error) {
 		Checksums: true,
 	})
 	db.nextTxnID.Store(1)
+	if !opts.DisableObs {
+		db.initObs()
+	}
 
 	if data.PageCount() == 0 {
 		if err := db.create(); err != nil {
+			db.closeFiles()
+			return nil, err
+		}
+		if err := db.startObsListener(); err != nil {
 			db.closeFiles()
 			return nil, err
 		}
@@ -323,6 +349,10 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := db.recover(); err != nil {
 		db.closeFiles()
 		return nil, fmt.Errorf("engine: recovery: %w", err)
+	}
+	if err := db.startObsListener(); err != nil {
+		db.closeFiles()
+		return nil, err
 	}
 	return db, nil
 }
@@ -386,6 +416,9 @@ func OpenStandby(dir string, opts Options) (*DB, error) {
 	})
 	db.nextTxnID.Store(1)
 	db.standby.Store(true)
+	if !opts.DisableObs {
+		db.initObs()
+	}
 
 	if data.PageCount() > 0 {
 		if err := db.readBoot(); err != nil {
@@ -396,6 +429,10 @@ func OpenStandby(dir string, opts Options) (*DB, error) {
 			db.closeFiles()
 			return nil, fmt.Errorf("engine: checkpoint index: %w", err)
 		}
+	}
+	if err := db.startObsListener(); err != nil {
+		db.closeFiles()
+		return nil, err
 	}
 	return db, nil
 }
@@ -612,6 +649,9 @@ func (db *DB) closeFiles() {
 func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return nil
+	}
+	if db.obsSrv != nil {
+		db.obsSrv.Close()
 	}
 	if db.standby.Load() {
 		if err := db.pool.FlushAll(); err != nil {

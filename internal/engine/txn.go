@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/btree"
+	"repro/internal/obs"
 	"repro/internal/storage/buffer"
 	"repro/internal/storage/disk"
 	"repro/internal/storage/page"
@@ -81,6 +82,7 @@ func (db *DB) Begin() (*Txn, error) {
 	}
 	t := &Txn{db: db, id: db.nextTxnID.Add(1)}
 	db.registerTxn(t)
+	db.metrics.activeTxns.Add(1)
 	return t, nil
 }
 
@@ -446,6 +448,7 @@ func (tx *Txn) Commit() error {
 	if txnState(tx.state.Load()) != txnActive {
 		return errors.New("engine: commit of inactive transaction")
 	}
+	sp := obs.StartSpan(tx.db.opts.Clock, tx.db.metrics.commitSeconds)
 	if tx.begun.Load() {
 		tx.ctlRec = wal.Record{
 			Type:      wal.TypeCommit,
@@ -461,6 +464,7 @@ func (tx *Txn) Commit() error {
 	}
 	tx.state.Store(int32(txnCommitted))
 	tx.finish()
+	sp.End()
 	tx.db.maybeATTMark()
 	tx.db.maybeAutoCheckpoint()
 	return nil
@@ -496,6 +500,7 @@ func (tx *Txn) Rollback() error {
 	if txnState(tx.state.Load()) != txnActive {
 		return errors.New("engine: rollback of inactive transaction")
 	}
+	sp := obs.StartSpan(tx.db.opts.Clock, tx.db.metrics.abortSeconds)
 	var err error
 	if tx.begun.Load() {
 		err = tx.undoChain(wal.LSN(tx.lastLSN.Load()))
@@ -511,6 +516,7 @@ func (tx *Txn) Rollback() error {
 	}
 	tx.state.Store(int32(txnAborted))
 	tx.finish()
+	sp.End()
 	return err
 }
 
@@ -520,6 +526,7 @@ func (tx *Txn) finish() {
 	}
 	tx.db.locks.ReleaseAll(tx.id)
 	tx.db.unregisterTxn(tx.id)
+	tx.db.metrics.activeTxns.Add(-1)
 }
 
 // undoChain performs logical undo from the given LSN back to the Begin

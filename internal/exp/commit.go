@@ -33,6 +33,9 @@ type CommitOptions struct {
 	// mutex-serialized tail — the A/B arm for the reservation-ring
 	// committer-scaling comparison.
 	DisableAppendRing bool
+	// DisableObs runs with the metrics registry disabled — the A/B arm that
+	// bounds the always-on observability cost on the commit path.
+	DisableObs bool
 }
 
 // CommitResult is one arm's measurement.
@@ -66,6 +69,7 @@ func CommitThroughput(dir string, o CommitOptions, w io.Writer) (CommitResult, e
 		GroupCommitMaxDelay: o.GroupCommitMaxDelay,
 		GroupCommitMaxBytes: o.GroupCommitMaxBytes,
 		DisableAppendRing:   o.DisableAppendRing,
+		DisableObs:          o.DisableObs,
 	})
 	if err != nil {
 		return CommitResult{}, err
@@ -159,6 +163,9 @@ func CommitThroughput(dir string, o CommitOptions, w io.Writer) (CommitResult, e
 	}
 	if o.DisableAppendRing {
 		mode += "/mutex-log"
+	}
+	if o.DisableObs {
+		mode += "/obsoff"
 	}
 	fmt.Fprintf(w, "%-13s %d committers  %6d txns  %8.0f commits/s  %6.2f commits/flush\n",
 		mode, res.Committers, res.Txns, res.PerSec, res.PerFlush)

@@ -1,0 +1,256 @@
+// Package obs is the dependency-free observability core: padded atomic
+// counters and gauges, fixed-bucket latency/size histograms, and lightweight
+// trace spans measured on the injectable clock (internal/clock), collected
+// in a Registry that renders Prometheus text exposition format.
+//
+// Hot-path discipline is the design center. Every mutating method is
+// nil-receiver-safe, so "observability off" is simply a nil metric handle:
+// the instrumented code keeps a single branch-predictable nil check and no
+// allocation, which is how the engine's -obsoff A/B arm proves the always-on
+// cost stays within budget. Counters and gauges are padded to a cache line
+// so two hot metrics never false-share. All timing rides clock.Clock, so
+// tests drive a virtual clock and assert exact histogram bucket contents.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Counter is a monotonically increasing metric, padded to its own cache
+// line. The zero value is ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+	_ [56]byte // pad to 64B so adjacent hot counters never false-share
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value, padded like Counter. A nil *Gauge is a
+// no-op.
+type Gauge struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds n (negative to decrement). No-op on a nil receiver.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultDurationBuckets are the upper bounds (in nanoseconds) used for
+// latency histograms: 50µs to 2.5s, roughly ×2.2 apart, spanning fsync on
+// fast NVMe through checkpoint-scale work.
+var DefaultDurationBuckets = []int64{
+	int64(50 * time.Microsecond),
+	int64(100 * time.Microsecond),
+	int64(250 * time.Microsecond),
+	int64(500 * time.Microsecond),
+	int64(1 * time.Millisecond),
+	int64(2500 * time.Microsecond),
+	int64(5 * time.Millisecond),
+	int64(10 * time.Millisecond),
+	int64(25 * time.Millisecond),
+	int64(50 * time.Millisecond),
+	int64(100 * time.Millisecond),
+	int64(250 * time.Millisecond),
+	int64(500 * time.Millisecond),
+	int64(1 * time.Second),
+	int64(2500 * time.Millisecond),
+}
+
+// DefaultSizeBuckets are upper bounds in bytes for size histograms (e.g.
+// group-commit batch size): 256B to 4MiB.
+var DefaultSizeBuckets = []int64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20,
+}
+
+// Histogram is a fixed-bucket histogram over int64 observations. Bounds are
+// ascending bucket upper bounds in raw units (nanoseconds for durations,
+// bytes for sizes); an implicit +Inf bucket catches the overflow. scale
+// converts raw units to the exported unit (1e-9 for ns→seconds, 1 for
+// bytes). A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds []int64
+	scale  float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// NewDurationHistogram returns a latency histogram with the given
+// nanosecond upper bounds (DefaultDurationBuckets when none are given),
+// exported in seconds.
+func NewDurationHistogram(bounds ...int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultDurationBuckets
+	}
+	return newHistogram(bounds, 1e-9)
+}
+
+// NewSizeHistogram returns a size histogram with the given byte upper
+// bounds (DefaultSizeBuckets when none are given), exported in bytes.
+func NewSizeHistogram(bounds ...int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultSizeBuckets
+	}
+	return newHistogram(bounds, 1)
+}
+
+func newHistogram(bounds []int64, scale float64) *Histogram {
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		scale:  scale,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one raw-unit observation. No-op on a nil receiver. The
+// bucket scan is linear: bucket counts are small (≤16) and the common case
+// lands in the first few probes.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records d. No-op on a nil receiver.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the raw-unit sum of observations (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bounds returns the bucket upper bounds (raw units).
+func (h *Histogram) Bounds() []int64 {
+	if h == nil {
+		return nil
+	}
+	return append([]int64(nil), h.bounds...)
+}
+
+// BucketCounts returns per-bucket (non-cumulative) counts; the final entry
+// is the +Inf overflow bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile returns the raw-unit upper bound of the bucket containing the
+// q-quantile (0 ≤ q ≤ 1) — a conservative estimate, exact to bucket
+// resolution. Observations in the +Inf bucket report the last finite bound.
+// Returns 0 when empty or nil.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1] // +Inf bucket: report last bound
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Span is an in-flight timed section headed for a Histogram. The zero Span
+// (and any span started against a nil histogram) is inert: End is a no-op
+// and no clock reads happen — this is where the -obsoff arm's savings come
+// from.
+type Span struct {
+	h     *Histogram
+	c     clock.Clock
+	start time.Time
+}
+
+// StartSpan begins timing on c. When h is nil the returned span is inert
+// and c is never read.
+func StartSpan(c clock.Clock, h *Histogram) Span {
+	if h == nil || c == nil {
+		return Span{}
+	}
+	return Span{h: h, c: c, start: c.Now()}
+}
+
+// End records the elapsed time into the span's histogram and returns it
+// (0 for an inert span).
+func (s Span) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := s.c.Now().Sub(s.start)
+	s.h.Observe(int64(d))
+	return d
+}

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair.
+type Label struct{ K, V string }
+
+// L builds a Label.
+func L(k, v string) Label { return Label{K: k, V: v} }
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.K)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.V))
+	}
+	return b.String()
+}
+
+// series is one static label combination within a family. Exactly one of
+// the value fields is set.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() int64
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name, help, typ string // typ: "counter", "gauge", "histogram"
+	series          []*series
+	byLabels        map[string]*series
+	collect         func(emit func(labels []Label, v float64)) // dynamic label sets
+}
+
+// Registry holds metric families in registration order under stable names.
+// All getters are get-or-create and idempotent: asking for an existing
+// name+labels returns the same handle, so layers can look metrics up
+// lazily without coordinating ownership. Every method is nil-receiver-safe
+// and returns a nil handle, which downstream no-ops — a nil *Registry IS
+// the disabled observability mode.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) familyLocked(name, help, typ string) *family {
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, byLabels: make(map[string]*series)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	return f
+}
+
+func (r *Registry) seriesFor(name, help, typ string, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, typ)
+	key := labelKey(labels)
+	s, ok := f.byLabels[key]
+	if !ok {
+		s = &series{labels: append([]Label(nil), labels...)}
+		f.byLabels[key] = s
+		f.series = append(f.series, s)
+	}
+	return s
+}
+
+// Counter returns the counter registered under name+labels, creating it on
+// first use. Nil registry → nil counter (a no-op handle).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.seriesFor(name, help, "counter", labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns the gauge registered under name+labels, creating it on
+// first use. Nil registry → nil gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.seriesFor(name, help, "gauge", labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// DurationHistogram returns the seconds-exported latency histogram under
+// name+labels, creating it (with DefaultDurationBuckets) on first use.
+func (r *Registry) DurationHistogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.seriesFor(name, help, "histogram", labels)
+	if s.h == nil {
+		s.h = NewDurationHistogram()
+	}
+	return s.h
+}
+
+// SizeHistogram returns the bytes-exported size histogram under
+// name+labels, creating it (with DefaultSizeBuckets) on first use.
+func (r *Registry) SizeHistogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.seriesFor(name, help, "histogram", labels)
+	if s.h == nil {
+		s.h = NewSizeHistogram()
+	}
+	return s.h
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — how pre-existing hot-path atomics are exported with zero
+// added write cost. Re-registering the same name+labels replaces fn.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.seriesFor(name, help, "counter", labels).fn = fn
+}
+
+// GaugeFunc registers a gauge series read from fn at scrape time.
+// Re-registering the same name+labels replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.seriesFor(name, help, "gauge", labels).fn = fn
+}
+
+// SetCollect registers a whole family (typ "counter" or "gauge") whose
+// series — labels included — are produced by fn at scrape time. Used where
+// the label set is dynamic, e.g. one lag gauge per connected subscriber.
+// Re-registering the same name replaces fn (a new shipper after failover
+// takes the family over).
+func (r *Registry) SetCollect(name, help, typ string, fn func(emit func(labels []Label, v float64))) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, typ)
+	f.collect = fn
+}
+
+func promLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return "{" + labelKey(labels) + "}"
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// snapshotFamilies copies the family list under the lock; series handles
+// are read afterwards without it (their values are atomics, and collect
+// callbacks may take arbitrary downstream locks).
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, len(r.families))
+	copy(out, r.families)
+	for i, f := range out {
+		cp := *f
+		cp.series = append([]*series(nil), f.series...)
+		out[i] = &cp
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4). Families appear in registration order, each with
+// one HELP/TYPE header; histogram series expand to cumulative _bucket
+// lines plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+		if f.collect != nil {
+			var err error
+			f.collect(func(labels []Label, v float64) {
+				if err == nil {
+					_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(labels), promFloat(v))
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	ls := promLabels(s.labels)
+	switch {
+	case s.h != nil:
+		bounds, counts := s.h.Bounds(), s.h.BucketCounts()
+		var cum int64
+		for i, b := range bounds {
+			cum += counts[i]
+			le := promFloat(float64(b) * s.h.scale)
+			lb := append(append([]Label(nil), s.labels...), L("le", le))
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", f.name, labelKey(lb), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(counts)-1]
+		lb := append(append([]Label(nil), s.labels...), L("le", "+Inf"))
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", f.name, labelKey(lb), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, promFloat(float64(s.h.Sum())*s.h.scale)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, s.h.Count())
+		return err
+	case s.fn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ls, s.fn())
+		return err
+	case s.c != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ls, s.c.Load())
+		return err
+	case s.g != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ls, s.g.Load())
+		return err
+	}
+	return nil
+}
+
+// Snapshot flattens the registry into name→value samples for the JSON
+// endpoint and `asofctl top`. Counters and gauges appear as
+// "name" or `name{k="v"}`; a histogram named H contributes "H:count",
+// "H:sum" (exported units), "H:p50" and "H:p99" (exported units).
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, f := range r.snapshotFamilies() {
+		for _, s := range f.series {
+			key := f.name + promLabels(s.labels)
+			switch {
+			case s.h != nil:
+				out[key+":count"] = float64(s.h.Count())
+				out[key+":sum"] = float64(s.h.Sum()) * s.h.scale
+				out[key+":p50"] = float64(s.h.Quantile(0.50)) * s.h.scale
+				out[key+":p99"] = float64(s.h.Quantile(0.99)) * s.h.scale
+			case s.fn != nil:
+				out[key] = float64(s.fn())
+			case s.c != nil:
+				out[key] = float64(s.c.Load())
+			case s.g != nil:
+				out[key] = float64(s.g.Load())
+			}
+		}
+		if f.collect != nil {
+			f.collect(func(labels []Label, v float64) {
+				out[f.name+promLabels(labels)] = v
+			})
+		}
+	}
+	return out
+}
+
+// Names returns the registered family names, sorted — a convenience for
+// tests asserting coverage.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for _, f := range r.families {
+		names = append(names, f.name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/backup"
 	"repro/internal/clock"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -160,6 +161,12 @@ type Orchestrator struct {
 	opts   OrchestratorOptions
 	router *Router
 
+	// obsReg is the initial primary's registry, captured at construction:
+	// per-kind failover/reseed event counters live here. A registry is plain
+	// memory that outlives engine Close, so the decision log of a whole
+	// failover (old primary dead and all) stays scrapeable in one place.
+	obsReg *obs.Registry
+
 	mu             sync.Mutex
 	primary        *engine.DB
 	ship           *Shipper
@@ -176,6 +183,7 @@ func NewOrchestrator(primary *engine.DB, ship *Shipper, router *Router, opts Orc
 	return &Orchestrator{
 		opts:    opts.withDefaults(primary),
 		router:  router,
+		obsReg:  primary.Obs(),
 		primary: primary,
 		ship:    ship,
 		nodes:   make(map[string]*orchNode),
@@ -273,6 +281,9 @@ func (o *Orchestrator) Events() []Event {
 func (o *Orchestrator) eventLocked(kind, node, format string, args ...any) {
 	e := Event{At: o.opts.Clock.Now(), Kind: kind, Node: node, Detail: fmt.Sprintf(format, args...)}
 	o.events = append(o.events, e)
+	o.obsReg.Counter("repl_orchestrator_events_total",
+		"orchestration decisions by kind (promote, reseed, session-down, ...)",
+		obs.L("kind", kind)).Inc()
 	o.opts.Logf("orchestrator: %s", e)
 }
 

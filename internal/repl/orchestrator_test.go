@@ -179,6 +179,24 @@ func TestOrchestratorFailoverPromotesBest(t *testing.T) {
 		t.Fatalf("promote at %v, want %v (virtual)", events[1].At, wantAt)
 	}
 
+	// The same decisions must be scrapeable: the per-kind event counters
+	// live on the initial primary's registry (plain memory, outliving the
+	// crashed engine) and carry exactly the schedule asserted above.
+	snap := f.prim.Obs().Snapshot()
+	for _, kind := range []string{"primary-lost", "promote", "repoint"} {
+		key := `repl_orchestrator_events_total{kind="` + kind + `"}`
+		if got := snap[key]; got != 1 {
+			t.Fatalf("%s = %v, want 1 (snapshot %v)", key, got, snap)
+		}
+	}
+	var prom strings.Builder
+	if err := f.prim.Obs().WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `repl_orchestrator_events_total{kind="promote"} 1`) {
+		t.Fatalf("promote counter missing from Prometheus exposition:\n%s", prom.String())
+	}
+
 	// The survivor converges on the promoted node, and a session routed
 	// through the failed-over router reads its own post-failover write.
 	f.commitRows(newPrim, "fo", 200, 210)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/engine"
 	"repro/internal/fsutil"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -169,6 +170,7 @@ func OpenReplica(dir string, opts ReplicaOptions) (*Replica, error) {
 		dir:  dir,
 		st:   engine.NewRecoveryState(),
 	}
+	r.registerObs(eng.Obs())
 
 	applied := wal.LSN(0)
 	if state, ok, err := readReplicaState(r.statePath()); err != nil {
@@ -199,6 +201,22 @@ func OpenReplica(dir string, opts ReplicaOptions) (*Replica, error) {
 	r.lastCkptAt = validEnd
 	r.lastMarkAt = validEnd
 	return r, nil
+}
+
+// registerObs publishes the replica's apply progress through the standby
+// engine's registry: scrape-time readers over the counters the apply loop
+// already maintains, so the redo hot path pays nothing.
+func (r *Replica) registerObs(reg *obs.Registry) {
+	reg.CounterFunc("repl_apply_batches_total", "shipped batches ingested by this replica", r.appliedBatches.Load)
+	reg.CounterFunc("repl_apply_bytes_total", "log bytes applied by this replica", r.appliedBytes.Load)
+	reg.CounterFunc("repl_apply_records_total", "log records applied by this replica", r.appliedRecords.Load)
+	reg.GaugeFunc("repl_lag_bytes", "primary durable log not yet applied locally", func() int64 {
+		lag := int64(r.primaryDurable.Load()) - int64(r.db.AppliedLSN())
+		if lag < 0 {
+			lag = 0
+		}
+		return lag
+	})
 }
 
 // DB exposes the standby engine (read-only until promotion): as-of
@@ -481,7 +499,13 @@ func (r *Replica) sendAck(conn Conn, heartbeat bool) error {
 	var payload []byte
 	if s := r.cascadeShipper(); s != nil && (heartbeat || r.db.Now().Sub(r.statusAckAt) >= statusAckEvery) {
 		if sts := s.Status(); len(sts) > 0 {
-			payload, _ = json.Marshal(sts)
+			b, err := json.Marshal(sts)
+			if err != nil {
+				// The piggyback is advisory but an unmarshalable status is a
+				// bug, not a condition to paper over with a silent empty tree.
+				return fmt.Errorf("repl: marshal cascade status: %w", err)
+			}
+			payload = b
 			r.statusAckAt = r.db.Now()
 		}
 	}

@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -93,6 +95,11 @@ type Shipper struct {
 	// reading the log after closeWith returns.
 	sessions sync.WaitGroup
 
+	// Shipper-lifetime totals across all subscriber sessions (per-session
+	// counts die with their subscriber entries; these feed the registry).
+	totalBatches atomic.Int64
+	totalBytes   atomic.Int64
+
 	closed atomic.Bool
 	stop   chan struct{}
 }
@@ -166,13 +173,44 @@ type SubscriberStatus struct {
 // NewShipper creates a shipper over db. One shipper serves any number of
 // concurrent subscriber sessions (Serve is called per connection).
 func NewShipper(db *engine.DB, opts ShipperOptions) *Shipper {
-	return &Shipper{
+	s := &Shipper{
 		db:    db,
 		opts:  opts.withDefaults(),
 		subs:  make(map[int]*subscriber),
 		conns: make(map[Conn]struct{}),
 		stop:  make(chan struct{}),
 	}
+	s.registerObs(db.Obs())
+	return s
+}
+
+// registerObs publishes the shipper through the source engine's registry.
+// Totals are scrape-time readers over the shipper's own atomics (no stream-
+// loop cost); the per-subscriber lag family is a collect callback because
+// its label set (subscriber ids) changes as sessions come and go. A shipper
+// re-created over the same engine (or a promoted standby's new shipper on a
+// registry that outlives the old one) simply replaces the callbacks.
+func (s *Shipper) registerObs(r *obs.Registry) {
+	r.CounterFunc("repl_ship_batches_total", "log batches shipped to subscribers", s.totalBatches.Load)
+	r.CounterFunc("repl_ship_bytes_total", "log payload bytes shipped to subscribers", s.totalBytes.Load)
+	r.GaugeFunc("repl_subscribers", "connected replica subscriptions", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.subs))
+	})
+	r.SetCollect("repl_subscriber_lag_bytes", "durable log bytes a subscriber has not yet applied", "gauge",
+		func(emit func(labels []obs.Label, v float64)) {
+			durable := s.db.Log().FlushedLSN()
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			for id, sub := range s.subs {
+				lag := int64(durable) - int64(sub.ackedApplied.Load())
+				if lag < 0 {
+					lag = 0
+				}
+				emit([]obs.Label{obs.L("id", strconv.Itoa(id))}, float64(lag))
+			}
+		})
 }
 
 // Close stops all sessions and waits for their stream loops to exit.
@@ -288,9 +326,12 @@ func (s *Shipper) Status() []SubscriberStatus {
 }
 
 // StatusJSON renders Status as JSON (the KindStatus reply payload).
-func (s *Shipper) StatusJSON() []byte {
-	b, _ := json.Marshal(s.Status())
-	return b
+func (s *Shipper) StatusJSON() ([]byte, error) {
+	b, err := json.Marshal(s.Status())
+	if err != nil {
+		return nil, fmt.Errorf("repl: marshal status: %w", err)
+	}
+	return b, nil
 }
 
 // TapStream subscribes at from and discards the stream as it arrives,
@@ -351,7 +392,15 @@ func (s *Shipper) Serve(conn Conn) error {
 	}
 	switch req.Kind {
 	case KindStatus:
-		return conn.Send(&Frame{Kind: KindStatus, Payload: s.StatusJSON()})
+		payload, err := s.StatusJSON()
+		if err != nil {
+			// Surface through the session error path (the peer sees KindError
+			// with the reason) rather than replying with a silently-empty
+			// status that reads as "no subscribers".
+			_ = conn.Send(&Frame{Kind: KindError, Payload: []byte(err.Error())})
+			return err
+		}
+		return conn.Send(&Frame{Kind: KindStatus, Payload: payload})
 	case KindSubscribe:
 	default:
 		return fmt.Errorf("repl: unexpected %v frame before subscribe", req.Kind)
@@ -593,6 +642,8 @@ func (s *Shipper) Serve(conn Conn) error {
 			sub.shipped.Store(uint64(off))
 			sub.bytesShipped.Add(int64(n))
 			sub.batchesSent.Add(1)
+			s.totalBytes.Add(int64(n))
+			s.totalBatches.Add(1)
 			continue // drain: more may already be durable
 		}
 		if !heartbeat.Stop() {

@@ -76,8 +76,10 @@ type shard struct {
 	frames []*frame
 	hand   int // clock sweep position, guarded by mu.Lock
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64 // cached pages evicted (clean, or dirty after writeback)
+	writebacks atomic.Int64 // dirty pages written back (eviction and FlushAll)
 }
 
 // Pool is a buffer pool. It is safe for concurrent use.
@@ -378,6 +380,7 @@ func (s *shard) evictLocked() (*frame, error) {
 		if !f.dirty.Load() {
 			delete(s.table, f.id)
 			f.id = page.InvalidID
+			s.evictions.Add(1)
 			return f, nil
 		}
 		// Dirty victim: claim, write back outside the lock, revalidate.
@@ -398,6 +401,7 @@ func (s *shard) evictLocked() (*frame, error) {
 			unpin(f)
 			delete(s.table, f.id)
 			f.id = page.InvalidID
+			s.evictions.Add(1)
 			return f, nil
 		}
 		// The page got hot (pinned, or fetched and released: used flipped
@@ -427,6 +431,7 @@ func (s *shard) writeBack(f *frame) error {
 		return fmt.Errorf("buffer: writeback of page %d: %w", f.id, err)
 	}
 	f.dirty.Store(false)
+	s.writebacks.Add(1)
 	return nil
 }
 
@@ -496,13 +501,39 @@ func (p *Pool) DropAll() error {
 	return nil
 }
 
-// Stats returns (hits, misses) counters summed across shards.
-func (p *Pool) Stats() (hits, misses int64) {
+// Stats is the pool's cumulative counter snapshot, summed across shards.
+type Stats struct {
+	Hits       int64 // fetches served from a resident frame
+	Misses     int64 // fetches that had to read the page in
+	Evictions  int64 // cached pages evicted (clean, or dirty after writeback)
+	Writebacks int64 // dirty pages written back (eviction and FlushAll)
+}
+
+// Stats returns the counters summed across shards.
+func (p *Pool) Stats() Stats {
+	var st Stats
 	for _, s := range p.shards {
-		hits += s.hits.Load()
-		misses += s.misses.Load()
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+		st.Evictions += s.evictions.Load()
+		st.Writebacks += s.writebacks.Load()
 	}
-	return hits, misses
+	return st
+}
+
+// ShardStats returns each shard's counter snapshot, in shard order — the
+// per-shard view behind the obs buffer_shard_* metric families.
+func (p *Pool) ShardStats() []Stats {
+	out := make([]Stats, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = Stats{
+			Hits:       s.hits.Load(),
+			Misses:     s.misses.Load(),
+			Evictions:  s.evictions.Load(),
+			Writebacks: s.writebacks.Load(),
+		}
+	}
+	return out
 }
 
 // Resident returns the number of pages currently cached.

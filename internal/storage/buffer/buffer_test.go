@@ -74,9 +74,9 @@ func TestFetchReadsThrough(t *testing.T) {
 	if src.reads != 1 {
 		t.Fatalf("cache miss on resident page: reads = %d", src.reads)
 	}
-	hits, misses := pool.Stats()
-	if hits != 1 || misses != 1 {
-		t.Fatalf("stats hits=%d misses=%d", hits, misses)
+	st := pool.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d", st.Hits, st.Misses)
 	}
 }
 
@@ -358,9 +358,9 @@ func TestShardedPoolServesAllPages(t *testing.T) {
 	if pool.Resident() != pages {
 		t.Fatalf("resident = %d, want %d", pool.Resident(), pages)
 	}
-	hits, misses := pool.Stats()
-	if misses != pages || hits != pages {
-		t.Fatalf("stats hits=%d misses=%d, want %d/%d", hits, misses, pages, pages)
+	st := pool.Stats()
+	if st.Misses != pages || st.Hits != pages {
+		t.Fatalf("stats hits=%d misses=%d, want %d/%d", st.Hits, st.Misses, pages, pages)
 	}
 }
 
@@ -631,5 +631,63 @@ func TestConcurrentDirtyEvictionIntegrity(t *testing.T) {
 			t.Errorf("page %d: counter %d, want %d (lost update through eviction)", i, v, counts[i])
 		}
 		h.Release()
+	}
+}
+
+// TestStatsCountEvictionsAndWritebacks forces both a clean and a dirty
+// eviction through a 2-frame pool and checks the new Stats counters: every
+// eviction of a cached page counts, and dirty victims additionally count a
+// writeback.
+func TestStatsCountEvictionsAndWritebacks(t *testing.T) {
+	src := newMemSource()
+	for i := 0; i < 6; i++ {
+		src.seed(page.ID(i))
+	}
+	pool := New(Config{Frames: 2, Source: src})
+
+	// Dirty page 0 so its eviction must write back.
+	h, err := pool.Fetch(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Page().UpdateAt(0, []byte("dirty"))
+	h.MarkDirty()
+	h.Release()
+
+	// Cycle the whole working set through the 2 frames: pages 1..5 evict
+	// whatever resides, including dirty page 0.
+	for i := 1; i < 6; i++ {
+		h, err := pool.Fetch(page.ID(i), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+
+	st := pool.Stats()
+	// 6 fetches into 2 frames: at least 4 cached pages were displaced.
+	if st.Evictions < 4 {
+		t.Fatalf("evictions = %d, want >= 4", st.Evictions)
+	}
+	if st.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1 (only page 0 was dirty)", st.Writebacks)
+	}
+	if st.Misses != 6 || st.Hits != 0 {
+		t.Fatalf("hits=%d misses=%d, want 0/6", st.Hits, st.Misses)
+	}
+
+	// FlushAll's writebacks count too.
+	h, err = pool.Fetch(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Page().UpdateAt(0, []byte("again"))
+	h.MarkDirty()
+	h.Release()
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Stats().Writebacks; got != 2 {
+		t.Fatalf("writebacks after FlushAll = %d, want 2", got)
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/fsutil"
+	"repro/internal/obs"
 	"repro/internal/storage/media"
 )
 
@@ -130,6 +131,16 @@ type Manager struct {
 	// outside any record (replication heartbeats). Injected so lag tests are
 	// deterministic; defaults to the system clock.
 	clock clock.Clock
+
+	// metrics is the hot-path instrumentation (see metrics.go). Held by
+	// value: the zero value's nil handles make every observation a no-op,
+	// so un-instrumented managers pay only dead branches.
+	metrics Metrics
+
+	// syncHook is a test hook invoked between a log force's write+sync and
+	// the latency span's end — virtual-clock tests advance a Mock clock in
+	// it to pin exact fsync-histogram contents.
+	syncHook func()
 }
 
 // DefaultGroupCommitMaxBytes is the pending-bytes threshold past which a
@@ -371,6 +382,8 @@ func (m *Manager) Append(r *Record) (LSN, error) {
 		m.maybeSampleLocked(r.WallClock, lsn)
 	}
 	m.mu.Unlock()
+	m.metrics.Appends.Inc()
+	m.metrics.AppendBytes.Add(int64(len(fb.b)))
 	r.LSN = lsn
 	framePool.Put(fb)
 	return lsn, nil
@@ -492,6 +505,8 @@ func (m *Manager) force(lsn LSN, linger bool) error {
 			// The write-then-sync pair is one log force: durability is not
 			// acknowledged (flushed is not advanced) until both complete, so
 			// under SyncData a commit's WaitDurable really means fdatasync'd.
+			m.metrics.FlushBytes.Observe(int64(len(buf)))
+			sp := obs.StartSpan(m.clock, m.metrics.FsyncSeconds)
 			if m.failWrites.Load() {
 				err = errInjectedWrite
 			} else {
@@ -500,6 +515,10 @@ func (m *Manager) force(lsn LSN, linger bool) error {
 					err = m.store.syncDirty()
 				}
 			}
+			if m.syncHook != nil {
+				m.syncHook()
+			}
+			sp.End()
 			m.Flushes.Add(1)
 		}
 
@@ -757,10 +776,12 @@ func (m *Manager) Truncate(before LSN) error {
 		return err
 	}
 	m.savedTrunc = cut
+	m.metrics.Truncations.Inc()
 	archived, removed, err := m.store.dropBefore(int64(cut - 1))
 	if err != nil {
 		return err
 	}
+	m.metrics.SegmentsDropped.Add(int64(archived + removed))
 	if archived+removed > 0 {
 		// Cached blocks may span the dropped segments; record reads at or
 		// above the truncation point never depend on sub-floor bytes, but

@@ -151,6 +151,8 @@ func (m *Manager) ringAppend(r *Record) (LSN, error) {
 		m.ringCond.Broadcast()
 		m.mu.Unlock()
 	}
+	m.metrics.Appends.Inc()
+	m.metrics.AppendBytes.Add(int64(size))
 	lsn := LSN(start + 1)
 	r.LSN = lsn
 	return lsn, nil
@@ -171,6 +173,8 @@ func (m *Manager) ringAppendBig(r *Record, size int) (LSN, error) {
 	m.ring.big[start] = buf
 	m.ringCond.Broadcast() // a drainer may be parked right at start
 	m.mu.Unlock()
+	m.metrics.Appends.Inc()
+	m.metrics.AppendBytes.Add(int64(len(buf)))
 	lsn := LSN(start + 1)
 	r.LSN = lsn
 	return lsn, nil
@@ -326,6 +330,7 @@ func (m *Manager) drainLocked() {
 		advanced = true
 	}
 	if advanced {
+		m.metrics.RingDrains.Inc()
 		m.ringCond.Broadcast()
 	}
 }

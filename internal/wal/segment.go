@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fsutil"
+	"repro/internal/obs"
 )
 
 // The log store keeps the logical log — one monotonic byte stream addressed
@@ -127,6 +128,10 @@ type segmentStore struct {
 	segBytes   int64
 	sync       SyncPolicy
 	archiveDir string
+
+	// rotations counts successful segment rotations; nil (the default) is a
+	// no-op handle. Set by Manager.RegisterObs before concurrent use.
+	rotations *obs.Counter
 
 	mu   sync.RWMutex
 	segs []*segment
@@ -384,6 +389,7 @@ func (st *segmentStore) writeAt(b []byte, off int64) error {
 				os.Remove(seg.path)
 				continue
 			}
+			st.rotations.Inc()
 			if st.sync == SyncData {
 				if err := fsutil.SyncDir(st.dir); err != nil {
 					return fmt.Errorf("wal: sync store dir: %w", err)
