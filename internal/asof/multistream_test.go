@@ -1,0 +1,243 @@
+package asof
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/row"
+)
+
+// runTimedWorkload drives a deterministic serial workload, advancing the
+// clock a second per transaction, and returns the instants after each batch.
+func runTimedWorkload(t *testing.T, db *engine.DB, clock *vclock, batches int) []time.Time {
+	t.Helper()
+	exec(t, db, func(tx *engine.Txn) error { return tx.CreateTable(testSchema("t")) })
+	marks := make([]time.Time, 0, batches)
+	for b := 0; b < batches; b++ {
+		exec(t, db, func(tx *engine.Txn) error {
+			for i := 0; i < 6; i++ {
+				if err := tx.Insert("t", testRow(b*6+i, fmt.Sprintf("v%d-%d", b, i), i)); err != nil {
+					return err
+				}
+			}
+			if b > 0 {
+				if err := tx.Update("t", testRow((b-1)*6, fmt.Sprintf("u%d", b), b)); err != nil {
+					return err
+				}
+				if err := tx.Delete("t", row.Row{row.Int64(int64((b-1)*6 + 1))}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		marks = append(marks, clock.Advance(time.Second))
+	}
+	return marks
+}
+
+func snapDigest(t *testing.T, s *Snapshot) map[int64]string {
+	t.Helper()
+	got := make(map[int64]string)
+	if err := s.Scan("t", nil, nil, func(r row.Row) bool {
+		got[r[0].Int] = fmt.Sprintf("%s|%d", r[1].Str, r[2].Int)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestMultiStreamAsOfEquivalence: the same timed workload on a 1-stream and
+// a 4-stream engine must yield identical as-of snapshots at every instant
+// and the same committed-transaction history from FindCommits — the
+// acceptance gate for the partitioned log's read paths.
+func TestMultiStreamAsOfEquivalence(t *testing.T) {
+	const batches = 12
+	type run struct {
+		db    *engine.DB
+		clock *vclock
+		marks []time.Time
+	}
+	runs := make([]run, 0, 2)
+	for _, streams := range []int{1, 4} {
+		clock := newVClock()
+		db := openDB(t, clock, engine.Options{LogStreams: streams})
+		marks := runTimedWorkload(t, db, clock, batches)
+		clock.Advance(time.Minute)
+		runs = append(runs, run{db, clock, marks})
+	}
+
+	// Snapshot digests must agree at every post-batch instant.
+	for b := 0; b < batches; b++ {
+		digests := make([]map[int64]string, 2)
+		for i, r := range runs {
+			s, err := CreateSnapshot(r.db, r.marks[b], nil)
+			if err != nil {
+				t.Fatalf("run %d batch %d: %v", i, b, err)
+			}
+			digests[i] = snapDigest(t, s)
+			s.Close()
+		}
+		if len(digests[0]) != len(digests[1]) {
+			t.Fatalf("batch %d: row counts diverge: 1-stream=%d 4-stream=%d", b, len(digests[0]), len(digests[1]))
+		}
+		for id, v := range digests[0] {
+			if digests[1][id] != v {
+				t.Fatalf("batch %d row %d: 1-stream=%q 4-stream=%q", b, id, v, digests[1][id])
+			}
+		}
+	}
+
+	// FindCommits must report the same transactions in the same order.
+	window := make([][]CommitInfo, 2)
+	for i, r := range runs {
+		cs, err := FindCommits(r.db, r.marks[0].Add(-time.Hour), r.clock.Now())
+		if err != nil {
+			t.Fatalf("run %d: FindCommits: %v", i, err)
+		}
+		window[i] = cs
+	}
+	if len(window[0]) != len(window[1]) {
+		t.Fatalf("commit counts diverge: 1-stream=%d 4-stream=%d", len(window[0]), len(window[1]))
+	}
+	for j := range window[0] {
+		a, b := window[0][j], window[1][j]
+		if a.TxnID != b.TxnID || a.Ops != b.Ops {
+			t.Fatalf("commit %d diverges: 1-stream txn=%d ops=%d, 4-stream txn=%d ops=%d",
+				j, a.TxnID, a.Ops, b.TxnID, b.Ops)
+		}
+		if !a.At.Equal(b.At) {
+			t.Fatalf("commit %d wall clock diverges: %v vs %v", j, a.At, b.At)
+		}
+	}
+	for j := 1; j < len(window[1]); j++ {
+		if window[1][j].CSN <= window[1][j-1].CSN {
+			t.Fatalf("4-stream commits not in CSN order: %d after %d", window[1][j].CSN, window[1][j-1].CSN)
+		}
+	}
+}
+
+// TestMultiStreamSnapshotUndoInflight: a transaction in flight at the as-of
+// instant spans the cut on its own stream; the snapshot's logical undo must
+// remove its effects even though the log is partitioned.
+func TestMultiStreamSnapshotUndoInflight(t *testing.T) {
+	clock := newVClock()
+	db := openDB(t, clock, engine.Options{LogStreams: 4})
+	exec(t, db, func(tx *engine.Txn) error { return tx.CreateTable(testSchema("t")) })
+	exec(t, db, func(tx *engine.Txn) error {
+		for i := 0; i < 20; i++ {
+			if err := tx.Insert("t", testRow(i, "base", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	clock.Advance(time.Second)
+
+	// Straddler: begins before the target instant, commits after it.
+	straddle, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := straddle.Insert("t", testRow(100, "inflight", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := straddle.Update("t", testRow(0, "inflight-upd", 99)); err != nil {
+		t.Fatal(err)
+	}
+	past := clock.Advance(time.Second)
+	clock.Advance(time.Second)
+	if err := straddle.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Minute)
+
+	s, err := CreateSnapshot(db, past, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok, err := s.Get("t", row.Row{row.Int64(100)}); err != nil || ok {
+		t.Fatalf("straddling insert visible in as-of snapshot: ok=%v err=%v", ok, err)
+	}
+	r, ok, err := s.Get("t", row.Row{row.Int64(0)})
+	if err != nil || !ok {
+		t.Fatalf("base row 0: ok=%v err=%v", ok, err)
+	}
+	if r[1].Str != "base" {
+		t.Fatalf("row 0 body = %q in snapshot, want pre-straddle %q", r[1].Str, "base")
+	}
+	// The live database sees the committed straddler.
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Rollback()
+	if _, ok, err := tx.Get("t", row.Row{row.Int64(100)}); err != nil || !ok {
+		t.Fatalf("straddler lost from live head: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestMultiStreamFlashbackUndo: UndoTransaction works from a FindCommits
+// result on a partitioned log (the commit chain lives on one stream).
+func TestMultiStreamFlashbackUndo(t *testing.T) {
+	clock := newVClock()
+	db := openDB(t, clock, engine.Options{LogStreams: 4})
+	exec(t, db, func(tx *engine.Txn) error { return tx.CreateTable(testSchema("t")) })
+	from := clock.Now()
+	exec(t, db, func(tx *engine.Txn) error { return tx.Insert("t", testRow(1, "keep", 1)) })
+	clock.Advance(time.Second)
+	var oopsID uint64
+	exec(t, db, func(tx *engine.Txn) error {
+		oopsID = tx.ID()
+		return tx.Insert("t", testRow(2, "oops", 2))
+	})
+	clock.Advance(time.Second)
+	exec(t, db, func(tx *engine.Txn) error { return tx.Insert("t", testRow(3, "keep", 3)) })
+	clock.Advance(time.Minute)
+
+	cs, err := FindCommits(db, from, clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oops *CommitInfo
+	for i := range cs {
+		if cs[i].TxnID == oopsID {
+			oops = &cs[i]
+		}
+	}
+	if oops == nil {
+		t.Fatalf("FindCommits did not surface txn %d in %d commits", oopsID, len(cs))
+	}
+	rep, err := UndoTransaction(db, oops.CommitLSN, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InsertsRemoved != 1 {
+		t.Fatalf("undo removed %d inserts, want 1", rep.InsertsRemoved)
+	}
+	exec(t, db, func(tx *engine.Txn) error {
+		if _, ok, err := tx.Get("t", row.Row{row.Int64(2)}); err != nil || ok {
+			return fmt.Errorf("undone row 2 still present: ok=%v err=%v", ok, err)
+		}
+		for _, id := range []int64{1, 3} {
+			if _, ok, err := tx.Get("t", row.Row{row.Int64(id)}); err != nil || !ok {
+				return fmt.Errorf("row %d lost by flashback undo: ok=%v err=%v", id, ok, err)
+			}
+		}
+		return nil
+	})
+}
+
+// TestMultiStreamResolveLSNGated: a scalar LSN has no order on a partitioned
+// log, so LSN-addressed snapshots must be refused at LogStreams > 1.
+func TestMultiStreamResolveLSNGated(t *testing.T) {
+	clock := newVClock()
+	db := openDB(t, clock, engine.Options{LogStreams: 2})
+	exec(t, db, func(tx *engine.Txn) error { return tx.CreateTable(testSchema("t")) })
+	if _, err := CreateSnapshotAtLSN(db, db.Log().NextLSN()-1, nil); err == nil {
+		t.Fatal("CreateSnapshotAtLSN succeeded on a 2-stream log")
+	}
+}

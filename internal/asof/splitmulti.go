@@ -1,0 +1,181 @@
+package asof
+
+// Multi-stream split resolution: as-of snapshots on a partitioned log
+// (engine.Options.LogStreams > 1).
+//
+// On a single stream the SplitLSN is a scalar and every §4/§5 comparison is
+// a scalar comparison. On N streams the split generalizes to a vector cut
+// (wal.StreamPos): element k is the start LSN of the newest visible commit
+// on stream k, and a record is visible iff the cut Covers its tagged LSN.
+// The cut is commit-consistent by construction: commits are chosen per
+// stream by wall clock against one engine clock, and a transaction can only
+// read data whose writer committed — and stamped its clock — before the
+// reader's own commit, so a visible commit never depends on an invisible
+// one.
+//
+// What does NOT generalize for free is the §4 physical rewind. It undoes a
+// page's chain newest-first and stops at the first visible record, which is
+// only correct if visibility is a suffix property of every page chain. On
+// one stream it is (chain order = LSN order); across streams an invisible
+// record could in principle sit *below* a visible one in the same chain —
+// an uncommitted transaction on a lightly loaded stream writes the page,
+// then a committing transaction on a busy stream writes it again before the
+// busy stream's cut. Resolution therefore verifies, during the analysis
+// scan it already performs, that no visible record's cross-stream chain
+// predecessor is invisible, and refuses the cut with ErrCutInterleaved
+// otherwise. Such interleavings can only form in the skew window between
+// the per-stream cut commits (bounded by clock resolution), so retrying at
+// a slightly different time dissolves them.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// ErrCutInterleaved is returned when the resolved vector cut intersects a
+// cross-stream page-chain interleaving: an invisible record sits below a
+// visible one in some page's chain, so the §4 suffix rewind cannot produce
+// the as-of page. Retry at a nearby time (the window is bounded by the
+// wall-clock skew between the per-stream cut commits).
+var ErrCutInterleaved = errors.New("asof: cut intersects a cross-stream page-chain interleaving; retry at a nearby time")
+
+// visible reports whether a (possibly stream-tagged) LSN is at or below the
+// split: the vector cut when one was resolved, else the scalar SplitLSN.
+func (sp *SplitPoint) visible(l wal.LSN) bool {
+	if len(sp.Cut) > 0 {
+		return sp.Cut.Covers(l)
+	}
+	return l <= sp.SplitLSN
+}
+
+// resolveTimeMulti is ResolveTime's partitioned-log body: resolve a vector
+// cut (per-stream newest commit at or before the target), then run the
+// analysis pass over every stream up to its cut element.
+func resolveTimeMulti(db *engine.DB, targetNS int64) (SplitPoint, error) {
+	log := db.Logs()
+	n := log.Streams()
+
+	// Phase 1: narrow by checkpoint wall-clock times. Checkpoints live on
+	// stream 0; the chosen checkpoint's StreamBegins vector is every
+	// stream's analysis floor (all streams were forced through it before
+	// the end record was written).
+	ckptBegin, ckptEnd, err := newestCheckpointNotAfter(db, targetNS)
+	if err != nil {
+		return SplitPoint{}, err
+	}
+	starts := log.TruncPos() // floor when no checkpoint qualifies
+	var seedATT []wal.ATTEntry
+	if ckptEnd != wal.NilLSN {
+		rec, err := log.Read(ckptEnd)
+		if err != nil {
+			return SplitPoint{}, fmt.Errorf("asof: checkpoint end %v: %w", ckptEnd, err)
+		}
+		data, err := wal.DecodeCheckpoint(rec.Extra)
+		if err != nil {
+			return SplitPoint{}, err
+		}
+		for k := 0; k < n; k++ {
+			if b := data.StreamBegins.Get(k); b != wal.NilLSN && b+1 > starts[k] {
+				starts[k] = b + 1
+			}
+		}
+		seedATT = data.ATT
+	}
+
+	// Phase 2, pass A: the cut. Per stream, the newest non-discarded commit
+	// at or before the target; commits past the target stop the scan (one
+	// engine clock, so per-stream commit wall-clocks are monotone). The
+	// stream's own time index jumps the scan into the last sample interval.
+	cut := make(wal.StreamPos, n)
+	for k := 0; k < n; k++ {
+		m := log.Stream(k)
+		cut[k] = starts[k] - 1
+		from := starts[k]
+		if s, ok := m.TimeFloor(targetNS); ok && s.LSN > from && !db.IsDiscardedCommit(wal.TagLSN(k, s.LSN)) {
+			from, cut[k] = s.LSN, s.LSN
+		}
+		kk := k
+		err := m.Scan(from, func(rec *wal.Record) (bool, error) {
+			if rec.Type != wal.TypeCommit || db.IsDiscardedCommit(wal.TagLSN(kk, rec.LSN)) {
+				return true, nil
+			}
+			if rec.WallClock <= targetNS {
+				cut[kk] = rec.LSN
+				return true, nil
+			}
+			return false, nil
+		})
+		if err != nil {
+			return SplitPoint{}, err
+		}
+	}
+
+	// Phase 2, pass B: analysis. One ATT across all streams (a transaction's
+	// records all live on its own stream, so per-stream scans compose), plus
+	// the interleaving check on every visible record's cross-stream chain
+	// predecessor. A record below the analysis floor cannot have an
+	// invisible predecessor — its predecessor was appended even earlier,
+	// and invisible records postdate a cut commit — so scanning the
+	// checkpoint-to-cut window checks every chain that matters (modulo the
+	// instruction-level skew of the StreamBegins capture loop).
+	att := make(map[uint64]*wal.ATTEntry)
+	for i := range seedATT {
+		e := seedATT[i]
+		att[e.TxnID] = &e
+	}
+	var scanned int64
+	for k := 0; k < n; k++ {
+		kk := k
+		err := log.Stream(k).Scan(starts[k], func(rec *wal.Record) (bool, error) {
+			if rec.LSN > cut[kk] {
+				return false, nil
+			}
+			scanned += int64(rec.ApproxSize())
+			l := wal.TagLSN(kk, rec.LSN)
+			if pl := rec.PrevPageLSN; pl != wal.NilLSN && wal.StreamOf(pl) != kk && !cut.Covers(pl) {
+				return false, fmt.Errorf("%w: %v at %v chains to %v", ErrCutInterleaved, rec.Type, l, pl)
+			}
+			switch rec.Type {
+			case wal.TypeBegin:
+				att[rec.TxnID] = &wal.ATTEntry{TxnID: rec.TxnID, LastLSN: l, BeginLSN: l}
+			case wal.TypeCommit:
+				if db.IsDiscardedCommit(l) {
+					// Log garbage, not a commit: the transaction stays in
+					// flight and is undone logically (recovery's own abort
+					// record, further up the stream, retires it for cuts
+					// placed after the crash).
+					noteATT(att, rec.TxnID, l)
+					break
+				}
+				delete(att, rec.TxnID)
+			case wal.TypeAbort:
+				delete(att, rec.TxnID)
+			default:
+				if rec.TxnID != 0 {
+					noteATT(att, rec.TxnID, l)
+				}
+			}
+			return true, nil
+		})
+		if err != nil {
+			return SplitPoint{}, err
+		}
+	}
+
+	sp := SplitPoint{SplitLSN: cut.Get(0), CkptBegin: ckptBegin, Cut: cut, LogScanned: scanned}
+	for _, e := range att {
+		sp.ATT = append(sp.ATT, *e)
+	}
+	return sp, nil
+}
+
+func noteATT(att map[uint64]*wal.ATTEntry, txnID uint64, l wal.LSN) {
+	if e, ok := att[txnID]; ok {
+		e.LastLSN = l
+	} else {
+		att[txnID] = &wal.ATTEntry{TxnID: txnID, LastLSN: l}
+	}
+}

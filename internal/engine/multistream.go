@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/storage/page"
+	"repro/internal/wal"
+)
+
+// Cross-stream dependency bookkeeping for the partitioned log (ROADMAP 3b).
+//
+// Page chains do not respect stream boundaries: transaction T2 on stream b
+// can append a record whose PrevPageLSN names an (as yet undurable) record
+// T1 wrote on stream a. Two rules keep the partitioned log as recoverable
+// as a single stream:
+//
+//  1. Extended WAL rule — before a dirty page is written back, every stream
+//     holding an undurable record of the page's chain is forced through it,
+//     not just the stream the pageLSN names.
+//  2. Commit dependency vectors — a commit record carries, per other
+//     stream, the highest position its transaction's page chains (and any
+//     commit it could have observed) reach into that stream. The commit is
+//     acknowledged only once those positions are durable, and recovery
+//     discards any commit whose dependencies point past a torn stream tail.
+//
+// pageDepTracker maintains rule 1's and the page-chain half of rule 2's
+// input: for every page with undurable cross-stream chain records, the
+// per-stream maximum positions of those records. Entries are pruned as
+// their positions become durable (a durable record can neither violate the
+// WAL rule nor be torn away), so the map tracks the recent write set, not
+// the database.
+type pageDepTracker struct {
+	log    *wal.StreamSet
+	shards [depShards]depShard
+}
+
+// streamChunk is the transaction→stream assignment granularity: runs of
+// this many consecutive txn ids land on the same stream before rotation
+// moves to the next. Fine-grained round-robin (chunk 1) spreads commit
+// arrivals so thinly that every stream's group-commit leader flushes a
+// near-empty batch — measured 2.4 commits/flush at 4 streams × 32
+// committers, losing to a single stream. Chunked rotation concentrates
+// the live commit window on one stream while the previous stream's
+// fsync is still in flight: batches stay fat and the per-file fsyncs
+// overlap, which is the whole point of partitioning. As a bonus, by the
+// time a dependency on a rotated-away stream is sampled it is usually
+// already durable, so cross-stream commit waits mostly hit the fast
+// path. Load stays balanced: any id window much longer than the chunk
+// covers all streams evenly.
+//
+// A var, not a const: crash tests pin it to 1 so small workloads still
+// spread across every stream.
+var streamChunk = uint64(64)
+
+const (
+	depShards = 16
+	// depSweepEvery bounds how long pruned-out entries of cold pages can
+	// linger: every N updates a shard re-checks all its entries against the
+	// durable positions and drops the fully-durable ones.
+	depSweepEvery = 1 << 13
+)
+
+type depShard struct {
+	mu  sync.Mutex
+	m   map[page.ID]wal.StreamPos
+	ops int
+}
+
+func newPageDepTracker(log *wal.StreamSet) *pageDepTracker {
+	t := &pageDepTracker{log: log}
+	for i := range t.shards {
+		t.shards[i].m = make(map[page.ID]wal.StreamPos)
+	}
+	return t
+}
+
+func (t *pageDepTracker) shard(id page.ID) *depShard {
+	return &t.shards[uint32(id)%depShards]
+}
+
+// prune zeroes the components of vec that are already durable and reports
+// whether any component remains.
+func (t *pageDepTracker) prune(vec wal.StreamPos) bool {
+	live := false
+	for k, v := range vec {
+		if v == wal.NilLSN {
+			continue
+		}
+		if v <= t.log.Stream(k).FlushedLSN() {
+			vec[k] = wal.NilLSN
+			continue
+		}
+		live = true
+	}
+	return live
+}
+
+// update records that the transaction on stream `stream` appended the record
+// ending at untagged offset `off` to page id's chain, and folds the page's
+// accumulated cross-stream positions into acc (the transaction's commit
+// dependency accumulator). Returns the (possibly grown) accumulator.
+func (t *pageDepTracker) update(id page.ID, stream int, off wal.LSN, acc wal.StreamPos) wal.StreamPos {
+	n := t.log.Streams()
+	for len(acc) < n {
+		acc = append(acc, wal.NilLSN)
+	}
+	s := t.shard(id)
+	s.mu.Lock()
+	vec := s.m[id]
+	if vec == nil {
+		vec = make(wal.StreamPos, n)
+		s.m[id] = vec
+	}
+	t.prune(vec)
+	for k, v := range vec {
+		if k != stream && v > acc[k] {
+			acc[k] = v
+		}
+	}
+	if off > vec[stream] {
+		vec[stream] = off
+	}
+	if s.ops++; s.ops >= depSweepEvery {
+		s.ops = 0
+		for pid, v := range s.m {
+			if pid != id && !t.prune(v) {
+				delete(s.m, pid)
+			}
+		}
+	}
+	s.mu.Unlock()
+	return acc
+}
+
+// deps returns the page's still-undurable per-stream chain positions (nil
+// when none) — what the extended WAL rule must force before write-back.
+func (t *pageDepTracker) deps(id page.ID) wal.StreamPos {
+	s := t.shard(id)
+	s.mu.Lock()
+	vec := s.m[id]
+	if vec == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	if !t.prune(vec) {
+		delete(s.m, id)
+		s.mu.Unlock()
+		return nil
+	}
+	out := vec.Clone()
+	s.mu.Unlock()
+	return out
+}
+
+// flushForPageWrite is the buffer pool's pre-writeback hook (the WAL rule).
+// Single-stream: force the log through the pageLSN. Partitioned: also force
+// every stream the page's undurable chain crosses (extended WAL rule), so a
+// flushed page never references bytes a crash could tear away.
+func (db *DB) flushForPageWrite(id page.ID, pageLSN uint64) error {
+	if err := db.log.Flush(wal.LSN(pageLSN)); err != nil {
+		return err
+	}
+	if db.pageDeps == nil {
+		return nil
+	}
+	for k, off := range db.pageDeps.deps(id) {
+		if off == wal.NilLSN {
+			continue
+		}
+		if err := db.log.Stream(k).Flush(off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noteAppend is logApply's partitioned-log bookkeeping after a page record
+// lands: fold the page's cross-stream positions into the transaction's
+// commit dependencies and extend the page's entry with the new record.
+func (tx *Txn) noteAppend(pid page.ID, lsn wal.LSN) {
+	t := tx.db.pageDeps
+	if t == nil {
+		return
+	}
+	tx.depAcc = t.update(pid, tx.stream, wal.OffsetOf(lsn), tx.depAcc)
+}
+
+// stampCommitDeps assigns the commit record its global commit sequence
+// number and dependency vector: the newest commit observed on every other
+// stream, merged with the positions the transaction's own page chains
+// reach. No-op on a single-stream log (the record stays byte-identical to
+// the pre-partitioning encoding).
+func (tx *Txn) stampCommitDeps(rec *wal.Record) {
+	if tx.db.log.Streams() <= 1 {
+		return
+	}
+	rec.CSN = tx.db.log.NextCSN()
+	deps := tx.db.log.CommitDeps(tx.stream, rec.Deps)
+	for k, d := range tx.depAcc {
+		if k != tx.stream && k < len(deps) && d > deps[k] {
+			deps[k] = d
+		}
+	}
+	rec.Deps = deps
+}
+
+// noteDiscarded merges tagged commit LSNs into the database's discarded-commit
+// list (recovery discards, or a checkpoint payload read back at open).
+func (db *DB) noteDiscarded(lsns []wal.LSN) {
+	if len(lsns) == 0 {
+		return
+	}
+	db.mu.Lock()
+	for _, l := range lsns {
+		found := false
+		for _, have := range db.discarded {
+			if have == l {
+				found = true
+				break
+			}
+		}
+		if !found {
+			db.discarded = append(db.discarded, l)
+		}
+	}
+	db.mu.Unlock()
+}
+
+// pruneDiscarded drops discarded-commit entries whose records fell below the
+// retention cut (nothing can resolve to them anymore).
+func (db *DB) pruneDiscarded(cut wal.StreamPos) {
+	db.mu.Lock()
+	kept := db.discarded[:0]
+	for _, l := range db.discarded {
+		if wal.OffsetOf(l) >= cut.Get(wal.StreamOf(l)) {
+			kept = append(kept, l)
+		}
+	}
+	db.discarded = kept
+	db.mu.Unlock()
+}
+
+// IsDiscardedCommit reports whether a commit record at the given tagged LSN
+// was discarded by multi-stream recovery — it is log garbage, not a commit.
+func (db *DB) IsDiscardedCommit(lsn wal.LSN) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, l := range db.discarded {
+		if l == lsn {
+			return true
+		}
+	}
+	return false
+}
+
+// waitCommitDeps blocks until every cross-stream dependency of a just-forced
+// commit record is durable. Own-stream durability is already settled by the
+// caller; dependencies are usually durable too (they were sampled from
+// already-appended commits), so the common path is a few atomic loads.
+//
+// The slow path must not lead a flush on the dependency's stream. A
+// commit-sampled dependency is another stream's commit record published
+// (NoteCommitEnd) before its own committer forces it, so that committer is
+// already driving a batch through the position; a foreign leader would cut
+// the batch at whatever happened to be in the tail, and with every commit
+// depending on every other stream the batching factor collapses. Only the
+// page-chain component (tx.depAcc) can name records of transactions that
+// have not committed — those have no committer forcing them, so they alone
+// get an active force.
+func (tx *Txn) waitCommitDeps(rec *wal.Record) error {
+	for k, d := range rec.Deps {
+		if d == wal.NilLSN || k == tx.stream {
+			continue
+		}
+		if tx.db.log.DurableCovers(wal.TagLSN(k, d)) {
+			continue
+		}
+		if p := tx.depAcc.Get(k); p != wal.NilLSN && !tx.db.log.DurableCovers(wal.TagLSN(k, p)) {
+			if err := tx.db.log.Flush(wal.TagLSN(k, p)); err != nil {
+				return err
+			}
+		}
+		if err := tx.db.log.WaitFlushed(wal.TagLSN(k, d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,393 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/storage/page"
+	"repro/internal/wal"
+)
+
+// Multi-stream crash recovery (ROADMAP 3b). The single-stream passes survive
+// almost intact — analysis is per-transaction (and a transaction's records
+// all live on one stream), undo is the runtime logical undo — but redo must
+// merge N streams whose records are only partially ordered, and the commit
+// dependency vectors decide which surviving commits must nevertheless be
+// thrown away because a prerequisite stream lost its tail:
+//
+//   - Pass 1 (per stream): one analysis scan per stream collects the valid
+//     prefix end (validEnd), every commit record's CSN + dependency vector,
+//     and the highest cross-stream reference into each stream (maxRef).
+//   - Discard: a fixpoint over the commit marks (wal.DiscardDependent)
+//     invalidates commits whose dependencies point past a torn tail —
+//     transitively, since later commits may have observed them. Discarded
+//     transactions re-enter the ATT and are rolled back by the undo pass.
+//     None of them were ever acknowledged: acknowledgement waits for the
+//     dependencies to be durable, and a torn dependency was not.
+//   - Pass 2 (merged): per-stream cursors advance round-robin; a page
+//     record is applicable once its PrevPageLSN's stream has been processed
+//     through it. Application is chain-exact (pageLSN == PrevPageLSN) —
+//     tagged LSNs are not totally ordered, so the monotone test is
+//     meaningless — with "page flushed ahead" mismatches recognized by
+//     walking the flushed page's chain. Records whose chain ancestors were
+//     torn away are dead branches: skipped, remembered, and passed over by
+//     the undo pass (their effects never reached any page).
+//   - Each stream is rewound to its valid prefix, and streams that lost
+//     bytes other streams still reference are padded with noop records
+//     through the highest such reference, so re-used offsets can never
+//     alias a dead reference.
+func (db *DB) recoverMulti() error {
+	n := db.log.Streams()
+	st := NewRecoveryState()
+	starts := make(wal.StreamPos, n)
+	for k := range starts {
+		starts[k] = 1
+	}
+	db.mu.Lock()
+	ckptEnd := db.boot.lastCkptEnd
+	db.mu.Unlock()
+	if ckptEnd != wal.NilLSN {
+		rec, err := db.log.Read(ckptEnd)
+		if err != nil {
+			return fmt.Errorf("read checkpoint end %v: %w", ckptEnd, err)
+		}
+		data, err := wal.DecodeCheckpoint(rec.Extra)
+		if err != nil {
+			return err
+		}
+		starts[0] = data.BeginLSN
+		for k := 1; k < n; k++ {
+			starts[k] = data.StreamBegins.Get(k) + 1
+		}
+		st.Seed(data.ATT)
+		db.noteDiscarded(data.Discarded)
+	}
+
+	// Pass 1: per-stream analysis.
+	validEnd := make(wal.StreamPos, n)
+	maxRef := make(wal.StreamPos, n)
+	var marks []wal.CommitMark
+	commitTxn := make(map[wal.LSN]wal.ATTEntry) // commit LSN → entry to undo if discarded
+	var maxCSN uint64
+	noteRef := func(l wal.LSN) {
+		if l == wal.NilLSN {
+			return
+		}
+		if k, off := wal.StreamOf(l), wal.OffsetOf(l); k < n && off > maxRef[k] {
+			maxRef[k] = off
+		}
+	}
+	for k := 0; k < n; k++ {
+		kk := k
+		validEnd[k] = starts[k] - 1
+		err := db.log.Stream(k).Scan(starts[k], func(rec *wal.Record) (bool, error) {
+			rec.LSN = wal.TagLSN(kk, rec.LSN)
+			if rec.Type == wal.TypeCommit && rec.CSN != 0 {
+				// Capture the undo entry before Observe drops it from the
+				// ATT: if the discard pass invalidates this commit, its
+				// transaction must be rolled back from the commit's PrevLSN.
+				e := wal.ATTEntry{TxnID: rec.TxnID, LastLSN: rec.PrevLSN}
+				if prev, ok := st.ATT[rec.TxnID]; ok {
+					e.BeginLSN = prev.BeginLSN
+				}
+				commitTxn[rec.LSN] = e
+				marks = append(marks, wal.CommitMark{
+					Stream: kk,
+					TxnID:  rec.TxnID,
+					LSN:    rec.LSN,
+					End:    wal.OffsetOf(rec.LSN) + wal.LSN(rec.ApproxSize()) - 1,
+					CSN:    rec.CSN,
+					Deps:   append([]wal.LSN(nil), rec.Deps...),
+				})
+				if rec.CSN > maxCSN {
+					maxCSN = rec.CSN
+				}
+			}
+			st.Observe(rec)
+			validEnd[kk] = wal.OffsetOf(rec.LSN) + wal.LSN(rec.ApproxSize()) - 1
+			noteRef(rec.PrevPageLSN)
+			noteRef(rec.PrevImageLSN)
+			for j, d := range rec.Deps {
+				if d != wal.NilLSN && j < n && d > maxRef[j] {
+					maxRef[j] = d
+				}
+			}
+			return true, nil
+		})
+		if err != nil {
+			return fmt.Errorf("analysis pass stream %d: %w", k, err)
+		}
+	}
+
+	invalid := wal.DiscardDependent(marks, validEnd)
+
+	// Pass 2: merged redo.
+	skipped := make(map[wal.LSN]struct{})
+	deadTxn := make(map[uint64]bool)
+	if err := db.redoMulti(starts, validEnd, skipped, deadTxn); err != nil {
+		return fmt.Errorf("redo pass: %w", err)
+	}
+
+	// A transaction is a serial program: everything it logged after a dead
+	// record may build on that record's (never-applied) effect, so redo cut
+	// the whole suffix. If such a transaction nevertheless has a surviving,
+	// not-yet-discarded commit — possible only when a flushed-then-torn
+	// middle let the dependency vector under-approximate the page chains —
+	// the commit cannot stand on a partial suffix: discard it too, and let
+	// the undo pass compensate the applied prefix.
+	for _, mk := range marks {
+		if deadTxn[mk.TxnID] {
+			invalid[mk.LSN] = mk
+		}
+	}
+
+	// Discarded commits: their transactions come back as in-flight (to be
+	// undone), and their record LSNs are remembered as non-commits.
+	var discardedLSNs []wal.LSN
+	for lsn := range invalid {
+		e := commitTxn[lsn]
+		ec := e
+		st.ATT[e.TxnID] = &ec
+		discardedLSNs = append(discardedLSNs, lsn)
+	}
+	sort.Slice(discardedLSNs, func(i, j int) bool { return discardedLSNs[i] < discardedLSNs[j] })
+	db.noteDiscarded(discardedLSNs)
+
+	// Rewind each stream to its valid prefix, then pad streams that lost
+	// bytes others still reference: a skipped record's PrevPageLSN (or a
+	// discarded commit's dependency) names offsets in the lost region, and
+	// if fresh records re-used those offsets the dead references would
+	// alias live records. Noop padding burns the offsets instead.
+	for k := 0; k < n; k++ {
+		m := db.log.Stream(k)
+		if end := wal.LSN(m.Size()); validEnd[k] < end {
+			if err := m.Rewind(validEnd[k]); err != nil {
+				return fmt.Errorf("torn-tail rewind stream %d to %v: %w", k, validEnd[k], err)
+			}
+		}
+		for m.NextLSN()-1 < maxRef[k] {
+			gap := int(maxRef[k] - (m.NextLSN() - 1))
+			const padMax = 16 << 10
+			if gap > padMax {
+				gap = padMax
+			}
+			pad := &wal.Record{Type: wal.TypeNoop, PageID: wal.NoPage, Extra: make([]byte, gap)}
+			if _, err := m.Append(pad); err != nil {
+				return fmt.Errorf("noop pad stream %d: %w", k, err)
+			}
+		}
+	}
+
+	db.nextTxnID.Store(st.MaxTxn + 1)
+	db.log.SeedCSN(maxCSN)
+
+	// Undo pass, passing over records redo proved never reached a page.
+	db.recoverySkip = skipped
+	err := db.UndoTransactions(st.Inflight())
+	db.recoverySkip = nil
+	if err != nil {
+		return err
+	}
+	return db.Checkpoint()
+}
+
+// redoIter is one stream's cursor over its valid record prefix.
+type redoIter struct {
+	m    *wal.Manager
+	k    int
+	next wal.LSN // untagged offset of the next record
+	end  wal.LSN // validEnd: last valid byte of the stream
+	rec  *wal.Record
+}
+
+func (it *redoIter) peek() (*wal.Record, error) {
+	if it.rec != nil {
+		return it.rec, nil
+	}
+	if it.next > it.end {
+		return nil, nil
+	}
+	rec, err := it.m.Read(it.next)
+	if err != nil {
+		return nil, fmt.Errorf("stream %d read %v: %w", it.k, it.next, err)
+	}
+	rec.LSN = wal.TagLSN(it.k, rec.LSN)
+	it.rec = rec
+	return rec, nil
+}
+
+func (it *redoIter) advance(processed wal.StreamPos) {
+	sz := wal.LSN(it.rec.ApproxSize())
+	processed[it.k] = it.next + sz - 1
+	it.next += sz
+	it.rec = nil
+}
+
+// redoMulti replays all streams' valid prefixes in a cross-stream-consistent
+// order: stream k's records replay in stream order, and a page record waits
+// until the stream holding its PrevPageLSN has processed it. Deadlock-free
+// by construction — cross-stream references were captured before the
+// referencing record's reservation, and within a stream byte order is
+// reservation order, so a cyclic wait would imply a reservation-order cycle.
+// The only way a reference can never be satisfied is pointing past a torn
+// tail: that record (and everything chained onto it) is a dead branch,
+// skipped and recorded. Death is contagious within a transaction: a
+// transaction's later records may build on an earlier record's effect
+// without sharing a page chain (a structure modification spans pages, an
+// insert lands in the leaf a just-skipped split created), so once one
+// record of a transaction is dead its whole remaining suffix — which is in
+// stream order, a transaction writes one stream — is skipped with it.
+// Without the contagion a split could apply on the parent but not the child
+// and leave the tree violating its bounds with nothing left to compensate.
+func (db *DB) redoMulti(starts, validEnd wal.StreamPos, skipped map[wal.LSN]struct{}, deadTxn map[uint64]bool) error {
+	n := db.log.Streams()
+	its := make([]*redoIter, n)
+	processed := make(wal.StreamPos, n)
+	for k := 0; k < n; k++ {
+		its[k] = &redoIter{m: db.log.Stream(k), k: k, next: starts[k], end: validEnd[k]}
+		processed[k] = starts[k] - 1
+	}
+	deadPage := make(map[page.ID]bool)
+	for {
+		progressed := false
+		pending := false
+		for k := 0; k < n; k++ {
+			for {
+				rec, err := its[k].peek()
+				if err != nil {
+					return err
+				}
+				if rec == nil {
+					break
+				}
+				ready, dead := redoReady(rec, processed, validEnd)
+				if dead || (rec.TxnID != 0 && deadTxn[rec.TxnID]) {
+					if rec.TxnID != 0 {
+						deadTxn[rec.TxnID] = true
+					}
+					skipped[rec.LSN] = struct{}{}
+					if rec.PageID != wal.NoPage {
+						deadPage[page.ID(rec.PageID)] = true
+					}
+				} else if !ready {
+					pending = true
+					break
+				} else if err := db.redoOneMulti(rec, starts, skipped, deadPage, deadTxn); err != nil {
+					return err
+				}
+				its[k].advance(processed)
+				progressed = true
+			}
+		}
+		if !pending {
+			return nil
+		}
+		if !progressed {
+			return fmt.Errorf("multi-stream redo stalled at %v (unsatisfiable cross-stream wait)", processed)
+		}
+	}
+}
+
+// redoReady decides a record's fate in the merge: ready to apply, waiting
+// for another stream's cursor, or dead (its page-chain predecessor lies past
+// a torn tail and can never replay).
+func redoReady(rec *wal.Record, processed, validEnd wal.StreamPos) (ready, dead bool) {
+	if !rec.IsPageOp() || rec.PageID == wal.NoPage {
+		return true, false
+	}
+	prev := rec.PrevPageLSN
+	if prev == wal.NilLSN {
+		return true, false
+	}
+	k := wal.StreamOf(prev)
+	if k == wal.StreamOf(rec.LSN) {
+		return true, false // same stream: cursor order already covers it
+	}
+	if k >= len(processed) {
+		return false, true
+	}
+	off := wal.OffsetOf(prev)
+	if off <= processed[k] {
+		return true, false
+	}
+	if off > validEnd[k] {
+		return false, true
+	}
+	return false, false
+}
+
+// redoOneMulti applies one record chain-exactly. A pageLSN mismatch means
+// the on-disk page was flushed ahead of this record (its effect is already
+// present, possibly along with later ones) — except on pages with a dead
+// branch, where the record may instead sit on the never-applied side of the
+// divergence. Walking the flushed page's chain distinguishes the two: the
+// extended WAL rule guarantees a flushed page's whole chain is durable, so
+// the walk always succeeds, and a dead-branch record can never appear in it
+// (flushing a page containing it would have forced its torn ancestor).
+func (db *DB) redoOneMulti(rec *wal.Record, starts wal.StreamPos, skipped map[wal.LSN]struct{}, deadPage map[page.ID]bool, deadTxn map[uint64]bool) error {
+	if !rec.IsPageOp() || rec.PageID == wal.NoPage {
+		return nil
+	}
+	pid := page.ID(rec.PageID)
+	h, err := db.fetchForRedo(pid)
+	if err != nil {
+		return fmt.Errorf("redo %v at %v on page %d: %w", rec.Type, rec.LSN, rec.PageID, err)
+	}
+	defer h.Release()
+	p := h.Page()
+	if rec.Type == wal.TypeAllocBits && p.Type() != page.TypeAllocMap && p.PageLSN() == 0 {
+		// Same fresh-frame special case as single-stream redoOne: map pages
+		// are formatted unlogged, so a never-flushed one must be rebuilt
+		// here before its first AllocBits record applies.
+		p.Format(pid, page.TypeAllocMap, 0)
+	}
+	if wal.LSN(p.PageLSN()) == rec.PrevPageLSN {
+		if err := wal.Apply(p, rec); err != nil {
+			return err
+		}
+		h.MarkDirty()
+		return nil
+	}
+	if deadPage[pid] {
+		ok, err := db.chainContains(wal.LSN(p.PageLSN()), rec.LSN, starts)
+		if err != nil {
+			return fmt.Errorf("page %d chain walk from %v: %w", pid, wal.LSN(p.PageLSN()), err)
+		}
+		if !ok {
+			skipped[rec.LSN] = struct{}{}
+			if rec.TxnID != 0 {
+				deadTxn[rec.TxnID] = true
+			}
+		}
+	}
+	return nil
+}
+
+// chainContains walks the page chain backwards from `from` and reports
+// whether it passes through target. The walk stops once it descends past
+// target's position (same stream, lower offset) or below the recovery scan
+// window — target is post-checkpoint, so descending below the window means
+// it cannot appear further down.
+func (db *DB) chainContains(from, target wal.LSN, starts wal.StreamPos) (bool, error) {
+	tk, toff := wal.StreamOf(target), wal.OffsetOf(target)
+	sr := db.log.NewReader()
+	defer sr.Release()
+	for cur := from; cur != wal.NilLSN; {
+		if cur == target {
+			return true, nil
+		}
+		k, off := wal.StreamOf(cur), wal.OffsetOf(cur)
+		if k == tk && off < toff {
+			return false, nil
+		}
+		if off < starts.Get(k) {
+			return false, nil
+		}
+		rec, err := sr.Read(cur)
+		if err != nil {
+			return false, err
+		}
+		cur = rec.PrevPageLSN
+	}
+	return false, nil
+}

@@ -411,6 +411,35 @@ func (m *Manager) Flush(lsn LSN) error { return m.force(lsn, false) }
 // leader's write. This is the commit path.
 func (m *Manager) WaitDurable(lsn LSN) error { return m.force(lsn, true) }
 
+// WaitFlushed blocks until the durable watermark covers lsn without ever
+// leading a flush: the caller rides writes driven by the stream's own
+// committers. Safe only when another goroutine is guaranteed to force
+// through lsn — the cross-stream commit-dependency wait, where the sampled
+// dependency is a commit record whose own committer is mid-force on this
+// stream. Leading from here would cut this stream's group-commit batch at
+// whatever happened to be in its tail, collapsing the batching factor
+// (observed 8.2 → 1.8 commits/flush at 4 streams × 32 committers when
+// dependency waits went through force).
+func (m *Manager) WaitFlushed(lsn LSN) error {
+	for {
+		if LSN(m.flushed.Load()) >= lsn {
+			return nil
+		}
+		m.mu.Lock()
+		if m.ioErr != nil {
+			err := m.ioErr
+			m.mu.Unlock()
+			return err
+		}
+		if LSN(m.flushed.Load()) >= lsn {
+			m.mu.Unlock()
+			return nil
+		}
+		m.flushDone.Wait()
+		m.mu.Unlock()
+	}
+}
+
 // force drives the flush pipeline until lsn is durable. With linger set, an
 // elected leader waits up to gcDelay for more appends before writing,
 // unless gcBytes are already pending.

@@ -1,0 +1,539 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fsutil"
+	"repro/internal/obs"
+)
+
+// Partitioned logging (ROADMAP item 3b): a StreamSet fans the log out over N
+// physical streams — each a complete Manager with its own reservation ring,
+// double-buffered tail, segment store and fsync queue — so the single-drain
+// ceiling of one log device stops bounding commit throughput. Recoverability
+// across streams follows the partially-constrained-log approach (Zhou et al.;
+// Wu et al.): appends are never serialized across streams; instead every
+// commit record carries a global commit sequence number and a per-stream
+// dependency vector of byte positions it may depend on, and recovery replays
+// each stream in order while gating cross-stream page chains on those links.
+//
+// LSNs remain a single uint64: the top byte carries the stream id and the low
+// 56 bits the byte offset within that stream. Stream 0 is untagged, so a
+// single-stream StreamSet produces LSNs — and log bytes — identical to a bare
+// Manager, and every pre-partitioning log is a valid one-stream set.
+
+const (
+	// streamShift positions the stream id in an LSN's top byte.
+	streamShift = 56
+	// offsetMask extracts the per-stream byte offset from an LSN.
+	offsetMask = (uint64(1) << streamShift) - 1
+	// MaxStreams bounds LogStreams: one tag byte, and stream ids must stay
+	// clear of the sign bit so LSN deltas stay well-behaved in int64 math.
+	MaxStreams = 127
+)
+
+// StreamOf returns the stream id carried in an LSN's tag byte. NilLSN and all
+// pre-partitioning LSNs report stream 0.
+func StreamOf(l LSN) int { return int(uint64(l) >> streamShift) }
+
+// OffsetOf strips the stream tag, returning the LSN in the coordinate space
+// of its own stream's Manager.
+func OffsetOf(l LSN) LSN { return LSN(uint64(l) & offsetMask) }
+
+// TagLSN places a per-stream offset LSN into the global LSN space. Tagging
+// NilLSN is the identity: "no record" has no stream.
+func TagLSN(stream int, off LSN) LSN {
+	if off == NilLSN || stream == 0 {
+		return off
+	}
+	return LSN(uint64(stream)<<streamShift | uint64(off))
+}
+
+// StreamPos is a per-stream position vector: element k is a byte position in
+// stream k's coordinate space (untagged). It generalizes the scalar LSN
+// everywhere a consumer tracks "how far" — recovery scan starts, checkpoint
+// boot records, retention cuts, replication cursors.
+type StreamPos []LSN
+
+// Clone returns an independent copy.
+func (p StreamPos) Clone() StreamPos { return append(StreamPos(nil), p...) }
+
+// Get returns element k, tolerating short vectors (decoded from payloads
+// written at a smaller stream count).
+func (p StreamPos) Get(k int) LSN {
+	if k < len(p) {
+		return p[k]
+	}
+	return NilLSN
+}
+
+// Covers reports whether the tagged LSN l lies at or below the vector: the
+// visibility test of a vector cut.
+func (p StreamPos) Covers(l LSN) bool { return OffsetOf(l) <= p.Get(StreamOf(l)) }
+
+func (p StreamPos) String() string {
+	s := "pos["
+	for i, v := range p {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d", uint64(v))
+	}
+	return s + "]"
+}
+
+// streamsMeta is the sidecar naming the stream count a log directory was
+// created with; re-opening with a different LogStreams is refused rather than
+// silently re-partitioned (transaction→stream placement is not migratable).
+const streamsMeta = "streams.meta"
+
+func writeStreamsMeta(dir string, n int) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	return fsutil.AtomicWriteFile(filepath.Join(dir, streamsMeta), buf[:], true)
+}
+
+// StreamCount reports the number of physical streams of the log rooted at
+// dir without opening it (1 when the sidecar is absent — a plain log).
+// Offline tooling (asofctl log-ls) uses it to enumerate s<K>/ directories.
+func StreamCount(dir string) int {
+	if n, ok := readStreamsMeta(dir); ok && n > 1 {
+		return n
+	}
+	return 1
+}
+
+func readStreamsMeta(dir string) (int, bool) {
+	b, err := os.ReadFile(filepath.Join(dir, streamsMeta))
+	if err != nil || len(b) != 8 {
+		return 0, false
+	}
+	return int(binary.LittleEndian.Uint64(b)), true
+}
+
+// StreamSet is N log Managers addressed through stream-tagged LSNs. Stream 0
+// lives in the root log directory (so a one-stream set is byte-identical to a
+// bare Manager, and existing logs open as one-stream sets); streams 1..N-1
+// live under s<K>/ subdirectories.
+//
+// The embedded Manager is stream 0: scalar call sites that predate
+// partitioning — checkpoint records, which stay on stream 0 by construction —
+// keep working unchanged. Methods that accept or return LSNs that may carry a
+// tag are overridden here to dispatch on it.
+type StreamSet struct {
+	*Manager // stream 0
+
+	streams []*Manager
+
+	// csn is the global commit sequence number: one atomic counter whose
+	// only job is a total order over commits for observability and
+	// cross-stream merge ordering. It is never a durability bottleneck —
+	// that remains each stream's fsync queue.
+	csn atomic.Uint64
+
+	// lastCommitEnd[k] is the tagged end position of the newest commit
+	// record appended to stream k — what other streams' committers sample
+	// as their dependency on k (a commit conservatively depends on every
+	// commit it could have observed).
+	lastCommitEnd []atomic.Uint64
+}
+
+// OpenStreams opens (creating if necessary) an n-stream log set rooted at
+// dir. n <= 1 opens a plain single-stream set. Existing multi-stream layouts
+// remember their stream count and refuse to open with a different one.
+func OpenStreams(dir string, cfg Config, n int) (*StreamSet, error) {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxStreams {
+		return nil, fmt.Errorf("wal: %d log streams exceeds the maximum of %d", n, MaxStreams)
+	}
+	if prev, ok := readStreamsMeta(dir); ok && prev != n {
+		return nil, fmt.Errorf("wal: log at %s has %d streams; refusing to open with LogStreams=%d", dir, prev, n)
+	} else if !ok && n > 1 {
+		// Guard against re-partitioning a pre-existing single-stream log:
+		// meta is only written at creation time (no segments yet).
+		if segs, err := ListSegments(dir); err == nil && len(segs) > 0 {
+			return nil, fmt.Errorf("wal: log at %s predates partitioning; refusing to open with LogStreams=%d", dir, n)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := writeStreamsMeta(dir, n); err != nil {
+			return nil, err
+		}
+	}
+	ss := &StreamSet{streams: make([]*Manager, n), lastCommitEnd: make([]atomic.Uint64, n)}
+	for k := 0; k < n; k++ {
+		sdir := dir
+		scfg := cfg
+		if k > 0 {
+			sdir = filepath.Join(dir, fmt.Sprintf("s%d", k))
+			// Migration and reseed base positions are stream-0 concepts.
+			scfg.LegacyFile = ""
+			scfg.BaseLSN = NilLSN
+			if scfg.ArchiveDir != "" {
+				scfg.ArchiveDir = filepath.Join(scfg.ArchiveDir, fmt.Sprintf("s%d", k))
+			}
+		}
+		m, err := OpenStore(sdir, scfg)
+		if err != nil {
+			for _, prev := range ss.streams[:k] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		ss.streams[k] = m
+	}
+	ss.Manager = ss.streams[0]
+	return ss, nil
+}
+
+// Streams returns the number of streams.
+func (ss *StreamSet) Streams() int { return len(ss.streams) }
+
+// Stream returns stream k's Manager. Positions it accepts and returns are in
+// stream-k coordinates (untagged).
+func (ss *StreamSet) Stream(k int) *Manager { return ss.streams[k] }
+
+// forLSN resolves a tagged LSN to its stream's manager and offset.
+func (ss *StreamSet) forLSN(l LSN) (*Manager, LSN, error) {
+	k := StreamOf(l)
+	if k >= len(ss.streams) {
+		return nil, 0, fmt.Errorf("wal: %v names stream %d of a %d-stream log", l, k, len(ss.streams))
+	}
+	return ss.streams[k], OffsetOf(l), nil
+}
+
+// NextCSN draws the next global commit sequence number.
+func (ss *StreamSet) NextCSN() uint64 { return ss.csn.Add(1) }
+
+// SeedCSN raises the commit-sequence counter to at least v (recovery replays
+// the highest surviving CSN through this).
+func (ss *StreamSet) SeedCSN(v uint64) {
+	for {
+		cur := ss.csn.Load()
+		if cur >= v || ss.csn.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// NoteCommitEnd publishes the tagged end position of a commit record just
+// appended to stream k, making it observable as a dependency.
+func (ss *StreamSet) NoteCommitEnd(k int, end LSN) {
+	slot := &ss.lastCommitEnd[k]
+	for {
+		cur := slot.Load()
+		if cur >= uint64(end) || slot.CompareAndSwap(cur, uint64(end)) {
+			return
+		}
+	}
+}
+
+// CommitDeps samples the dependency vector for a commit on stream self: for
+// every other stream, the end of the newest commit observed there. Element
+// self is always NilLSN (a commit's own stream is covered by its own force).
+// The result is written into dst when it has capacity.
+func (ss *StreamSet) CommitDeps(self int, dst []LSN) []LSN {
+	dst = dst[:0]
+	for k := range ss.streams {
+		d := NilLSN
+		if k != self {
+			d = OffsetOf(LSN(ss.lastCommitEnd[k].Load()))
+		}
+		dst = append(dst, d)
+	}
+	return dst
+}
+
+// AppendStream appends a record to stream k and returns its tagged LSN.
+func (ss *StreamSet) AppendStream(k int, r *Record) (LSN, error) {
+	lsn, err := ss.streams[k].Append(r)
+	if err != nil {
+		return NilLSN, err
+	}
+	r.LSN = TagLSN(k, lsn)
+	return r.LSN, nil
+}
+
+// Read fetches the record at a tagged LSN, re-tagging its assigned LSN into
+// the global space.
+func (ss *StreamSet) Read(l LSN) (*Record, error) {
+	m, off, err := ss.forLSN(l)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := m.Read(off)
+	if err != nil {
+		return nil, err
+	}
+	rec.LSN = l
+	return rec, nil
+}
+
+// Flush forces the stream owning the tagged LSN through it.
+func (ss *StreamSet) Flush(l LSN) error {
+	m, off, err := ss.forLSN(l)
+	if err != nil {
+		return err
+	}
+	return m.Flush(off)
+}
+
+// WaitDurable blocks until the tagged LSN is durable on its stream, riding
+// that stream's group-commit pipeline.
+func (ss *StreamSet) WaitDurable(l LSN) error {
+	m, off, err := ss.forLSN(l)
+	if err != nil {
+		return err
+	}
+	return m.WaitDurable(off)
+}
+
+// WaitFlushed blocks until the tagged LSN is durable on its stream without
+// ever leading a flush there (see Manager.WaitFlushed): the wait rides
+// flushes driven by that stream's own committers.
+func (ss *StreamSet) WaitFlushed(l LSN) error {
+	m, off, err := ss.forLSN(l)
+	if err != nil {
+		return err
+	}
+	return m.WaitFlushed(off)
+}
+
+// DurableCovers reports whether the tagged LSN is already durable — the
+// fast path of cross-stream dependency waits.
+func (ss *StreamSet) DurableCovers(l LSN) bool {
+	m, off, err := ss.forLSN(l)
+	if err != nil {
+		return false
+	}
+	return m.FlushedLSN() >= off
+}
+
+// FlushedPos returns the per-stream durable positions.
+func (ss *StreamSet) FlushedPos() StreamPos {
+	pos := make(StreamPos, len(ss.streams))
+	for k, m := range ss.streams {
+		pos[k] = m.FlushedLSN()
+	}
+	return pos
+}
+
+// EndPos returns the per-stream reserved end positions (NextLSN-1).
+func (ss *StreamSet) EndPos() StreamPos {
+	pos := make(StreamPos, len(ss.streams))
+	for k, m := range ss.streams {
+		pos[k] = m.NextLSN() - 1
+	}
+	return pos
+}
+
+// TruncPos returns the per-stream retention boundaries.
+func (ss *StreamSet) TruncPos() StreamPos {
+	pos := make(StreamPos, len(ss.streams))
+	for k, m := range ss.streams {
+		pos[k] = m.TruncationPoint()
+	}
+	return pos
+}
+
+// Size returns the total reserved log bytes across all streams — the log
+// volume measure checkpoint cadence runs on.
+func (ss *StreamSet) Size() int64 {
+	var total int64
+	for _, m := range ss.streams {
+		total += m.Size()
+	}
+	return total
+}
+
+// TruncateAll persists per-stream retention cuts and drops the segments
+// wholly below them. cut tolerates short vectors: streams beyond its length
+// keep everything.
+func (ss *StreamSet) TruncateAll(cut StreamPos) error {
+	for k, m := range ss.streams {
+		c := cut.Get(k)
+		if c <= 1 {
+			continue
+		}
+		if err := m.Truncate(c); err != nil {
+			return fmt.Errorf("stream %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// Close closes every stream, returning the first error.
+func (ss *StreamSet) Close() error {
+	var first error
+	for _, m := range ss.streams {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SetGroupCommit applies group-commit tuning to every stream.
+func (ss *StreamSet) SetGroupCommit(delay time.Duration, maxBytes int) {
+	for _, m := range ss.streams {
+		m.SetGroupCommit(delay, maxBytes)
+	}
+}
+
+// SetCacheBlocks resizes every stream's read cache.
+func (ss *StreamSet) SetCacheBlocks(n int) {
+	for _, m := range ss.streams {
+		m.SetCacheBlocks(n)
+	}
+}
+
+// InvalidateCache drops every stream's read cache.
+func (ss *StreamSet) InvalidateCache() {
+	for _, m := range ss.streams {
+		m.InvalidateCache()
+	}
+}
+
+// RegisterObs registers per-stream wal_* metric families. A one-stream set
+// registers exactly the unlabeled families a bare Manager would; multi-stream
+// sets label every family with the stream id so `asofctl top` can show
+// whether stream load is balanced.
+func (ss *StreamSet) RegisterObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	if len(ss.streams) == 1 {
+		ss.streams[0].RegisterObs(r)
+		return
+	}
+	for k, m := range ss.streams {
+		m.RegisterObsLabeled(r, obs.L("stream", fmt.Sprintf("%d", k)))
+	}
+}
+
+// SetReader reads records by tagged LSN through per-stream ChainReaders —
+// the multi-stream form of the backward chain-walk hot path. Release returns
+// the underlying readers to their pools.
+type SetReader struct {
+	ss      *StreamSet
+	readers []*ChainReader
+}
+
+// NewReader returns a SetReader over the set.
+func (ss *StreamSet) NewReader() *SetReader {
+	return &SetReader{ss: ss, readers: make([]*ChainReader, len(ss.streams))}
+}
+
+// Read fetches the record at a tagged LSN into the owning stream's reader
+// scratch. The result is valid until that stream's next Read.
+func (sr *SetReader) Read(l LSN) (*Record, error) {
+	k := StreamOf(l)
+	if k >= len(sr.readers) {
+		return nil, fmt.Errorf("wal: %v names stream %d of a %d-stream log", l, k, len(sr.readers))
+	}
+	if sr.readers[k] == nil {
+		sr.readers[k] = sr.ss.streams[k].ChainReader()
+	}
+	rec, err := sr.readers[k].Read(OffsetOf(l))
+	if err != nil {
+		return nil, err
+	}
+	rec.LSN = l
+	return rec, nil
+}
+
+// Release returns the per-stream readers to their pools.
+func (sr *SetReader) Release() {
+	for k, r := range sr.readers {
+		if r != nil {
+			r.Close()
+			sr.readers[k] = nil
+		}
+	}
+}
+
+// StreamInfo is one stream's layout summary for operational surfaces
+// (asofctl log-ls).
+type StreamInfo struct {
+	Stream   int
+	Dir      string
+	Segments []SegmentInfo
+	Floor    LSN // retention boundary, stream coordinates
+	Flushed  LSN
+	End      LSN
+}
+
+// Layout summarizes every stream's segment set for rendering.
+func (ss *StreamSet) Layout() []StreamInfo {
+	out := make([]StreamInfo, len(ss.streams))
+	for k, m := range ss.streams {
+		out[k] = StreamInfo{
+			Stream:   k,
+			Segments: m.Segments(),
+			Floor:    m.TruncationPoint(),
+			Flushed:  m.FlushedLSN(),
+			End:      m.NextLSN() - 1,
+		}
+	}
+	return out
+}
+
+// CommitMark is one surviving commit record's identity during multi-stream
+// recovery: where it ended, its global sequence number, and the cross-stream
+// positions it depends on.
+type CommitMark struct {
+	Stream int
+	TxnID  uint64
+	LSN    LSN // tagged LSN of the commit record
+	End    LSN // untagged end offset of its frame on its stream
+	CSN    uint64
+	Deps   []LSN // untagged per-stream dependency positions
+}
+
+// DiscardDependent computes the commits that must be discarded because a
+// prerequisite stream lost bytes they depend on: commit C is invalid when
+// some stream k tore below C.Deps[k] (validEnd[k] < Deps[k]), or — iterating
+// to a fixpoint — when an already-invalid commit on k ended at or below
+// C.Deps[k] (C could have observed it). Returns the invalid set keyed by
+// tagged commit LSN.
+func DiscardDependent(commits []CommitMark, validEnd StreamPos) map[LSN]CommitMark {
+	invalid := make(map[LSN]CommitMark)
+	// lowestInvalid[k] is the lowest end of an invalid commit on stream k;
+	// any commit whose dep on k reaches it could have observed it.
+	lowestInvalid := make([]LSN, len(validEnd))
+	for k := range lowestInvalid {
+		lowestInvalid[k] = LSN(^uint64(0))
+	}
+	sort.Slice(commits, func(i, j int) bool { return commits[i].CSN < commits[j].CSN })
+	for changed := true; changed; {
+		changed = false
+		for _, c := range commits {
+			if _, dead := invalid[c.LSN]; dead {
+				continue
+			}
+			for k, d := range c.Deps {
+				if d == NilLSN || k >= len(validEnd) {
+					continue
+				}
+				if d > validEnd[k] || d >= lowestInvalid[k] {
+					invalid[c.LSN] = c
+					if c.End < lowestInvalid[c.Stream] {
+						lowestInvalid[c.Stream] = c.End
+					}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return invalid
+}
